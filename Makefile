@@ -1,0 +1,42 @@
+# onocsim build targets. Everything is plain `go` — the Makefile only names
+# the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench report report-csv examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulators are single-goroutine by design; the race detector guards
+# the experiment harness's concurrent study fan-out.
+test-race:
+	$(GO) test -race ./internal/experiments/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the full evaluation (R1–R16) at paper scale.
+report:
+	$(GO) run ./cmd/expreport -exp all | tee results_full.txt
+
+report-csv:
+	$(GO) run ./cmd/expreport -exp all -csv
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/casestudy
+	$(GO) run ./examples/sweep
+	$(GO) run ./examples/tracefile
+	$(GO) run ./examples/designspace
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,319 @@
+// Package onocsim is a full-system simulator for Optical Network-on-Chip
+// research, reproducing "Self-Correction Trace Model: A Full-System
+// Simulator for Optical Network-on-Chip" (Zhang, He, Fan — IPDPSW 2012).
+//
+// The package offers four ways to evaluate a workload on a fabric:
+//
+//   - RunExecutionDriven: the slow, accurate reference — cores, caches and
+//     coherence co-simulated with the network.
+//   - CaptureTrace + RunNaiveReplay: conventional trace-driven simulation,
+//     fast but wrong when the target fabric differs from the capture fabric.
+//   - CaptureTrace + RunSelfCorrection: the paper's Self-Correction Trace
+//     Model — iterated dependency-driven replay converging to near
+//     execution-driven accuracy at trace-driven cost.
+//   - CaptureTrace + RunCoupledReplay: a tightly coupled dependency replay,
+//     the upper-accuracy single-pass reference.
+//
+// Fabrics: an electrical wormhole mesh (baseline), a Corona-class optical
+// crossbar (the ONOC under study), and an ideal fixed-latency capture
+// fabric. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reconstructed paper evaluation.
+package onocsim
+
+import (
+	"fmt"
+	"time"
+
+	"onocsim/internal/config"
+	"onocsim/internal/core"
+	"onocsim/internal/cpu"
+	"onocsim/internal/enoc"
+	"onocsim/internal/hybrid"
+	"onocsim/internal/metrics"
+	"onocsim/internal/noc"
+	"onocsim/internal/onoc"
+	"onocsim/internal/sim"
+	"onocsim/internal/trace"
+	"onocsim/internal/workload"
+)
+
+// Re-exported types: the stable public surface. Aliases keep the public API
+// thin while the implementations live in internal packages.
+type (
+	// Config is the root experiment configuration.
+	Config = config.Config
+	// NetworkKind selects a fabric.
+	NetworkKind = config.NetworkKind
+	// Network is the fabric contract shared by all interconnect models.
+	Network = noc.Network
+	// Message is one network transaction.
+	Message = noc.Message
+	// Trace is a dependency-annotated communication trace.
+	Trace = trace.Trace
+	// ReplayResult is the outcome of one trace replay.
+	ReplayResult = core.ReplayResult
+	// CorrectionResult is the outcome of the self-correction loop.
+	CorrectionResult = core.CorrectionResult
+	// Accuracy is a replay-vs-ground-truth comparison.
+	Accuracy = core.Accuracy
+	// Tick is simulated time in cycles.
+	Tick = sim.Tick
+	// Table renders experiment results as ASCII or CSV.
+	Table = metrics.Table
+)
+
+// Fabric kinds.
+const (
+	Electrical = config.NetElectrical
+	Optical    = config.NetOptical
+	IdealNet   = config.NetIdeal
+	// Hybrid routes short hops electrically, long hops optically.
+	Hybrid = config.NetHybrid
+)
+
+// DefaultConfig returns the validated baseline configuration (64 cores,
+// canonical mesh and crossbar parameters, stencil kernel).
+func DefaultConfig() Config { return config.Default() }
+
+// LoadConfig reads and validates a JSON configuration file.
+func LoadConfig(path string) (Config, error) { return config.Load(path) }
+
+// BuildNetwork constructs a fresh fabric of the given kind for the config.
+func BuildNetwork(cfg Config, kind NetworkKind) (Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case config.NetElectrical:
+		return enoc.New(cfg.System.Cores, cfg.Mesh), nil
+	case config.NetOptical:
+		if cfg.Optical.Architecture == "swmr" {
+			return onoc.NewSWMR(cfg.System.Cores, cfg.Optical), nil
+		}
+		return onoc.New(cfg.System.Cores, cfg.Optical), nil
+	case config.NetIdeal:
+		return noc.NewIdeal(cfg.System.Cores, sim.Tick(cfg.Ideal.LatencyCycles), cfg.Ideal.BytesPerCycle), nil
+	case config.NetHybrid:
+		return hybrid.New(cfg.System.Cores, cfg.Mesh, cfg.Optical, cfg.Hybrid.Threshold), nil
+	default:
+		return nil, fmt.Errorf("onocsim: unknown network kind %q", kind)
+	}
+}
+
+// NetworkFactory returns a constructor for fresh fabrics of the given kind;
+// the self-correction loop uses one per iteration.
+func NetworkFactory(cfg Config, kind NetworkKind) (core.NetworkFactory, error) {
+	if _, err := BuildNetwork(cfg, kind); err != nil {
+		return nil, err
+	}
+	return func() noc.Network {
+		n, err := BuildNetwork(cfg, kind)
+		if err != nil {
+			panic("onocsim: factory build failed after successful probe: " + err.Error())
+		}
+		return n
+	}, nil
+}
+
+// GroundTruth is the result of an execution-driven run.
+type GroundTruth struct {
+	// Makespan is when the last core finished, in cycles.
+	Makespan Tick
+	// MeanLatency is the mean network message latency in cycles.
+	MeanLatency float64
+	// Cycles is the simulated length including drain.
+	Cycles Tick
+	// Messages is the fabric message count.
+	Messages uint64
+	// ClassLatency is the mean latency per virtual network, indexed by
+	// noc.Class (request, response, writeback).
+	ClassLatency [noc.NumClasses]float64
+	// WallTime is the host time the simulation took.
+	WallTime time.Duration
+	// Power is the fabric power report over the run.
+	Power noc.PowerReport
+}
+
+// RunExecutionDriven runs the configured kernel workload execution-driven on
+// a fabric of the given kind and returns ground-truth metrics.
+func RunExecutionDriven(cfg Config, kind NetworkKind) (GroundTruth, error) {
+	progs, err := workload.Generate(cfg)
+	if err != nil {
+		return GroundTruth{}, err
+	}
+	net, err := BuildNetwork(cfg, kind)
+	if err != nil {
+		return GroundTruth{}, err
+	}
+	sys, err := cpu.NewSystem(cfg, progs, net, nil)
+	if err != nil {
+		return GroundTruth{}, err
+	}
+	start := time.Now()
+	res, err := sys.Run(cfg.MaxCyclesOrDefault())
+	if err != nil {
+		return GroundTruth{}, err
+	}
+	gt := GroundTruth{
+		Makespan:    res.Makespan,
+		MeanLatency: net.Stats().MeanLatency(),
+		Cycles:      res.Cycles,
+		Messages:    res.Messages,
+		WallTime:    time.Since(start),
+		Power:       net.PowerReport(res.Cycles, clockGHz(cfg)),
+	}
+	for c := noc.Class(0); c < noc.NumClasses; c++ {
+		gt.ClassLatency[c] = net.Stats().PerClass[c].Mean()
+	}
+	return gt, nil
+}
+
+// clockGHz returns the system clock used for power conversion.
+func clockGHz(cfg Config) float64 { return cfg.Optical.ClockGHz }
+
+// CaptureTrace runs the configured kernel workload execution-driven on the
+// capture fabric (by default the cheap ideal network) with recording enabled
+// and returns the dependency-annotated trace.
+func CaptureTrace(cfg Config, captureOn NetworkKind) (*Trace, time.Duration, error) {
+	progs, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	net, err := BuildNetwork(cfg, captureOn)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec := trace.NewRecorder(cfg.System.Cores)
+	sys, err := cpu.NewSystem(cfg, progs, net, rec)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	res, err := sys.Run(cfg.MaxCyclesOrDefault())
+	if err != nil {
+		return nil, 0, err
+	}
+	elapsed := time.Since(start)
+	tr, err := rec.Finish(cfg.Workload.Kernel, res.Makespan)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tr, elapsed, nil
+}
+
+// RunNaiveReplay replays the trace at recorded timestamps on a fresh fabric
+// of the given kind.
+func RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	net, err := BuildNetwork(cfg, kind)
+	if err != nil {
+		return ReplayResult{}, 0, err
+	}
+	start := time.Now()
+	res, err := core.NaiveReplay(net, tr)
+	return res, time.Since(start), err
+}
+
+// RunCoupledReplay runs the tightly coupled dependency-driven replay.
+func RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	net, err := BuildNetwork(cfg, kind)
+	if err != nil {
+		return ReplayResult{}, 0, err
+	}
+	opts := core.ScheduleOptions{
+		DisableSyncDeps:   cfg.SCTM.DisableSyncDeps,
+		DisableCausalDeps: cfg.SCTM.DisableCausalDeps,
+	}
+	start := time.Now()
+	res, err := core.CoupledReplay(net, tr, opts)
+	return res, time.Since(start), err
+}
+
+// RunSelfCorrection runs the Self-Correction Trace Model against a fresh
+// fabric per iteration.
+func RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
+	factory, err := NetworkFactory(cfg, kind)
+	if err != nil {
+		return CorrectionResult{}, 0, err
+	}
+	start := time.Now()
+	res, err := core.SelfCorrect(factory, tr, cfg.SCTM)
+	return res, time.Since(start), err
+}
+
+// Compare computes the accuracy of a replay against ground truth.
+func Compare(replay ReplayResult, truth GroundTruth) Accuracy {
+	return core.CompareToTruth(replay.Makespan, replay.MeanLatency, truth.Makespan, truth.MeanLatency)
+}
+
+// Study is the full methodology comparison for one workload and target
+// fabric: ground truth, naive replay, coupled replay, and self-correction,
+// with accuracies and wall-clock costs.
+type Study struct {
+	Workload string
+	Target   NetworkKind
+
+	Truth    GroundTruth
+	Trace    *Trace
+	Naive    ReplayResult
+	Coupled  ReplayResult
+	SCTM     CorrectionResult
+	NaiveAcc Accuracy
+	CoupAcc  Accuracy
+	SCTMAcc  Accuracy
+
+	CaptureWall time.Duration
+	NaiveWall   time.Duration
+	CoupledWall time.Duration
+	SCTMWall    time.Duration
+}
+
+// RunStudy executes the complete methodology comparison: capture the trace
+// on the cheap reference fabric, measure execution-driven ground truth on
+// the target, and evaluate every replay engine against it.
+func RunStudy(cfg Config, target NetworkKind) (*Study, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, capWall, err := CaptureTrace(cfg, config.NetIdeal)
+	if err != nil {
+		return nil, fmt.Errorf("onocsim: capture: %w", err)
+	}
+	truth, err := RunExecutionDriven(cfg, target)
+	if err != nil {
+		return nil, fmt.Errorf("onocsim: ground truth: %w", err)
+	}
+	naive, naiveWall, err := RunNaiveReplay(cfg, tr, target)
+	if err != nil {
+		return nil, fmt.Errorf("onocsim: naive replay: %w", err)
+	}
+	coupled, coupWall, err := RunCoupledReplay(cfg, tr, target)
+	if err != nil {
+		return nil, fmt.Errorf("onocsim: coupled replay: %w", err)
+	}
+	sctm, sctmWall, err := RunSelfCorrection(cfg, tr, target)
+	if err != nil {
+		return nil, fmt.Errorf("onocsim: self-correction: %w", err)
+	}
+	return &Study{
+		Workload:    cfg.Workload.Kernel,
+		Target:      target,
+		Truth:       truth,
+		Trace:       tr,
+		Naive:       naive,
+		Coupled:     coupled,
+		SCTM:        sctm,
+		NaiveAcc:    Compare(naive, truth),
+		CoupAcc:     Compare(coupled, truth),
+		SCTMAcc:     Compare(sctm.Final, truth),
+		CaptureWall: capWall,
+		NaiveWall:   naiveWall,
+		CoupledWall: coupWall,
+		SCTMWall:    sctmWall,
+	}, nil
+}
+
+// SaveTrace / LoadTrace round-trip the binary trace format.
+func SaveTrace(path string, tr *Trace) error { return trace.SaveFile(path, tr) }
+
+// LoadTrace reads a binary trace file.
+func LoadTrace(path string) (*Trace, error) { return trace.LoadFile(path) }

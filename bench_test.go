@@ -1,0 +1,244 @@
+// Benchmarks regenerating the reconstructed paper evaluation. Each
+// BenchmarkR* corresponds to one table/figure in DESIGN.md §3 and
+// EXPERIMENTS.md; running `go test -bench=. -benchmem` reproduces the whole
+// evaluation at CI scale (experiments use Quick mode inside benchmarks to
+// keep per-iteration cost bounded — run cmd/expreport for full-scale runs).
+//
+// Microbenchmarks at the bottom characterize the simulator itself: fabric
+// cycle cost, trace codec throughput, and the correction loop.
+package onocsim_test
+
+import (
+	"io"
+	"testing"
+
+	"onocsim"
+	"onocsim/internal/config"
+	"onocsim/internal/core"
+	"onocsim/internal/experiments"
+	"onocsim/internal/noc"
+	"onocsim/internal/trace"
+	"onocsim/internal/workload"
+)
+
+var benchOpts = experiments.Options{Seed: 42, Cores: 16, Quick: true}
+
+// benchTable runs one experiment per iteration, failing the benchmark on
+// error and reporting the row count so regressions in coverage are visible.
+func benchTable(b *testing.B, name string) {
+	b.Helper()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ByName(name, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = t.NumRows()
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkR1Accuracy regenerates the headline accuracy table (R1).
+func BenchmarkR1Accuracy(b *testing.B) { benchTable(b, "r1") }
+
+// BenchmarkR2SimTime regenerates the simulation-cost table (R2).
+func BenchmarkR2SimTime(b *testing.B) { benchTable(b, "r2") }
+
+// BenchmarkR3Convergence regenerates the convergence figure series (R3).
+func BenchmarkR3Convergence(b *testing.B) { benchTable(b, "r3") }
+
+// BenchmarkR4LoadLatency regenerates the load–latency figure series (R4).
+func BenchmarkR4LoadLatency(b *testing.B) { benchTable(b, "r4") }
+
+// BenchmarkR5CaseStudy regenerates the application case-study table (R5).
+func BenchmarkR5CaseStudy(b *testing.B) { benchTable(b, "r5") }
+
+// BenchmarkR6Power regenerates the power-breakdown table (R6).
+func BenchmarkR6Power(b *testing.B) { benchTable(b, "r6") }
+
+// BenchmarkR7Scaling regenerates the scalability figure series (R7).
+func BenchmarkR7Scaling(b *testing.B) { benchTable(b, "r7") }
+
+// BenchmarkR8Ablation regenerates the dependency-ablation table (R8).
+func BenchmarkR8Ablation(b *testing.B) { benchTable(b, "r8") }
+
+// BenchmarkR9Architectures regenerates the MWSR-vs-SWMR extension (R9).
+func BenchmarkR9Architectures(b *testing.B) { benchTable(b, "r9") }
+
+// BenchmarkR10CaptureFabric regenerates the capture-sensitivity extension (R10).
+func BenchmarkR10CaptureFabric(b *testing.B) { benchTable(b, "r10") }
+
+// BenchmarkR11Damping regenerates the damping-sweep extension (R11).
+func BenchmarkR11Damping(b *testing.B) { benchTable(b, "r11") }
+
+// BenchmarkR12Hybrid regenerates the hybrid-NoC extension (R12).
+func BenchmarkR12Hybrid(b *testing.B) { benchTable(b, "r12") }
+
+// --- Simulator microbenchmarks ---
+
+// benchFabricTick measures the cost of simulating one cycle of a fabric
+// under moderate uniform load.
+func benchFabricTick(b *testing.B, kind onocsim.NetworkKind) {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 64
+	net, err := onocsim.BuildNetwork(cfg, kind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Preload with traffic and keep topping it up.
+	var id uint64
+	inject := func() {
+		for src := 0; src < 64; src += 4 {
+			id++
+			net.Inject(&noc.Message{ID: id, Src: src, Dst: (src + 13) % 64, Bytes: 64, Class: noc.ClassRequest})
+		}
+	}
+	inject()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 0 {
+			inject()
+		}
+		net.Tick()
+	}
+}
+
+func BenchmarkTickElectrical(b *testing.B) { benchFabricTick(b, onocsim.Electrical) }
+func BenchmarkTickOptical(b *testing.B)    { benchFabricTick(b, onocsim.Optical) }
+func BenchmarkTickIdeal(b *testing.B)      { benchFabricTick(b, onocsim.IdealNet) }
+
+// BenchmarkExecutionDriven measures a full execution-driven kernel run.
+func BenchmarkExecutionDriven(b *testing.B) {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	cfg.Workload.Scale = 4
+	cfg.Workload.Iterations = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelfCorrection measures the full correction loop on a captured
+// trace (capture excluded).
+func BenchmarkSelfCorrection(b *testing.B) {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	cfg.Workload.Scale = 4
+	cfg.Workload.Iterations = 2
+	tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := onocsim.RunSelfCorrection(cfg, tr, onocsim.Optical); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.NumEvents()), "events")
+}
+
+// BenchmarkSchedulePass measures the pure dependency-graph schedule pass,
+// the cheap half of each correction round.
+func BenchmarkSchedulePass(b *testing.B) {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat := make([]onocsim.Tick, tr.NumEvents())
+	for i := range lat {
+		lat[i] = 20
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Schedule(tr, lat, core.ScheduleOptions{})
+	}
+	b.ReportMetric(float64(tr.NumEvents()), "events")
+}
+
+// BenchmarkTraceCodec measures binary encode+decode throughput.
+func BenchmarkTraceCodec(b *testing.B) {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf writableBuffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.data = buf.data[:0]
+		if err := trace.WriteBinary(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.ReadBinary(&readableBuffer{data: buf.data}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf.data)))
+}
+
+type writableBuffer struct{ data []byte }
+
+func (w *writableBuffer) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+
+type readableBuffer struct {
+	data []byte
+	pos  int
+}
+
+func (r *readableBuffer) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// BenchmarkSyntheticUniform measures the synthetic traffic harness on both
+// fabrics at a moderate load (part of regenerating R4 quickly).
+func BenchmarkSyntheticUniform(b *testing.B) {
+	for _, kind := range []onocsim.NetworkKind{onocsim.Electrical, onocsim.Optical} {
+		b.Run(string(kind), func(b *testing.B) {
+			cfg := onocsim.DefaultConfig()
+			cfg.System.Cores = 16
+			cfg.Workload = config.Workload{
+				Kind: config.WorkloadSynthetic, Pattern: "uniform",
+				InjectionRate: 0.1, PacketBytes: 64, Packets: 50,
+				Kernel: "stencil", Scale: 1, Iterations: 1, ComputeScale: 1,
+			}
+			for i := 0; i < b.N; i++ {
+				net, err := onocsim.BuildNetwork(cfg, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := workload.RunSynthetic(net, cfg.Workload, cfg.Mesh.FlitBytes, cfg.Seed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkR13Photonics regenerates the loss-budget sensitivity table (R13).
+func BenchmarkR13Photonics(b *testing.B) { benchTable(b, "r13") }
+
+// BenchmarkR14WhatIf regenerates the core-speed what-if table (R14).
+func BenchmarkR14WhatIf(b *testing.B) { benchTable(b, "r14") }
+
+// BenchmarkR15League regenerates the fabric league table (R15).
+func BenchmarkR15League(b *testing.B) { benchTable(b, "r15") }
+
+// BenchmarkR16Seeds regenerates the seed-sensitivity table (R16).
+func BenchmarkR16Seeds(b *testing.B) { benchTable(b, "r16") }
+
+// BenchmarkR17Memory regenerates the memory-intensity table (R17).
+func BenchmarkR17Memory(b *testing.B) { benchTable(b, "r17") }

@@ -1,0 +1,94 @@
+// Command expreport regenerates the reconstructed paper evaluation: every
+// table and figure R1–R8 described in DESIGN.md §3, as aligned ASCII or CSV.
+//
+// Examples:
+//
+//	expreport -exp all
+//	expreport -exp r1 -cores 64
+//	expreport -exp r4 -csv > r4.csv
+//	expreport -exp all -quick       # CI-sized sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"onocsim/internal/experiments"
+	"onocsim/internal/metrics"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (r1..r17) or 'all'")
+		cores  = flag.Int("cores", 64, "core count for kernel experiments")
+		seed   = flag.Uint64("seed", 42, "experiment seed")
+		quick  = flag.Bool("quick", false, "shrink sweeps (CI-sized)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of ASCII")
+		outdir = flag.String("outdir", "", "also write one CSV file per experiment into this directory")
+	)
+	flag.Parse()
+	opts := experiments.Options{Seed: *seed, Cores: *cores, Quick: *quick}
+	if err := run(*exp, opts, *csv, *outdir); err != nil {
+		fmt.Fprintln(os.Stderr, "expreport:", err)
+		os.Exit(1)
+	}
+}
+
+// writeCSVFile saves one experiment table as <outdir>/<id>.csv.
+func writeCSVFile(outdir, id string, t *metrics.Table) error {
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(outdir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(exp string, opts experiments.Options, csv bool, outdir string) error {
+	if exp == "all" {
+		tables, err := experiments.All(opts)
+		if err != nil {
+			return err
+		}
+		names := experiments.Names()
+		for i, t := range tables {
+			if i > 0 {
+				fmt.Println()
+			}
+			if outdir != "" && i < len(names) {
+				if err := writeCSVFile(outdir, names[i], t); err != nil {
+					return err
+				}
+			}
+			if csv {
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+			} else if err := t.WriteASCII(os.Stdout); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	t, err := experiments.ByName(exp, opts)
+	if err != nil {
+		return err
+	}
+	if outdir != "" {
+		if err := writeCSVFile(outdir, exp, t); err != nil {
+			return err
+		}
+	}
+	if csv {
+		return t.WriteCSV(os.Stdout)
+	}
+	return t.WriteASCII(os.Stdout)
+}

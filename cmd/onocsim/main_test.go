@@ -1,0 +1,62 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"onocsim"
+)
+
+// smallCfgFile writes a fast config and returns its path.
+func smallCfgFile(t *testing.T) string {
+	t.Helper()
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	cfg.Workload.Scale = 4
+	cfg.Workload.Iterations = 2
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExecMode(t *testing.T) {
+	for _, network := range []string{"ideal", "electrical", "optical"} {
+		if err := run(smallCfgFile(t), network, "exec", "ascii", false); err != nil {
+			t.Fatalf("exec on %s: %v", network, err)
+		}
+	}
+}
+
+func TestRunStudyMode(t *testing.T) {
+	if err := run(smallCfgFile(t), "optical", "study", "ascii", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONFormats(t *testing.T) {
+	cfgPath := smallCfgFile(t)
+	if err := run(cfgPath, "optical", "exec", "json", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfgPath, "optical", "study", "json", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfgPath, "optical", "exec", "yaml", false); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	cfgPath := smallCfgFile(t)
+	if err := run(cfgPath, "optical", "teleport", "ascii", false); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run(cfgPath, "warp", "exec", "ascii", false); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), "optical", "exec", "ascii", false); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"onocsim/internal/trace"
+)
+
+func TestRunCapturesAndWrites(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.sctm")
+	jsonOut := filepath.Join(dir, "t.json")
+	if err := run("", "stencil", 16, "ideal", out, jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Workload != "stencil" || tr.Nodes != 16 {
+		t.Fatalf("trace metadata: %q %d", tr.Workload, tr.Nodes)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.sctm")
+	if err := run("", "nokernel", 16, "ideal", out, ""); err == nil {
+		t.Fatal("bad kernel accepted")
+	}
+	if err := run("", "stencil", 10, "ideal", out, ""); err == nil {
+		t.Fatal("non-square cores accepted")
+	}
+	if err := run("", "stencil", 16, "teleport", out, ""); err == nil {
+		t.Fatal("bad capture fabric accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), "", 0, "ideal", out, ""); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Command traceinfo inspects a binary SCTM trace file: event and byte
+// counts, dependency-class breakdown, chain-depth distribution, per-node
+// hotspots, and the critical path under the recorded reference latencies.
+//
+// Example:
+//
+//	tracegen -kernel fft -cores 64 -out fft.sctm
+//	traceinfo fft.sctm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"onocsim/internal/metrics"
+	"onocsim/internal/trace"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print the critical path event list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-v] <trace.sctm>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, verbose bool) error {
+	tr, err := trace.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	st := tr.ComputeStats()
+
+	t := metrics.NewTable(fmt.Sprintf("trace %s — workload %q, %d nodes", path, tr.Workload, tr.Nodes),
+		"metric", "value")
+	t.AddRow("events", fmt.Sprintf("%d", st.Events))
+	t.AddRow("payload bytes", fmt.Sprintf("%d", st.Bytes))
+	t.AddRow("reference makespan (cycles)", fmt.Sprintf("%d", tr.RefMakespan))
+	t.AddRow("deps: program order", fmt.Sprintf("%d", st.DepEdges[trace.DepProgram]))
+	t.AddRow("deps: causal", fmt.Sprintf("%d", st.DepEdges[trace.DepCausal]))
+	t.AddRow("deps: synchronization", fmt.Sprintf("%d", st.DepEdges[trace.DepSync]))
+	for k := trace.Kind(0); k < trace.Kind(5); k++ {
+		t.AddRow("kind: "+k.String(), fmt.Sprintf("%d", st.ByKind[k]))
+	}
+	cp, err := tr.CriticalPathReference()
+	if err != nil {
+		return err
+	}
+	t.AddRow("critical path (cycles)", fmt.Sprintf("%d", cp.Length))
+	t.AddRow("critical path (events)", fmt.Sprintf("%d", len(cp.Events)))
+	t.AddRow("critical fraction of makespan", fmt.Sprintf("%.1f%%", 100*float64(cp.Length)/float64(tr.RefMakespan)))
+	if err := t.WriteASCII(os.Stdout); err != nil {
+		return err
+	}
+
+	hist := tr.DepthHistogram()
+	fmt.Printf("\ndependency-chain depth distribution (%d levels):\n", len(hist))
+	step := (len(hist) + 19) / 20
+	if step < 1 {
+		step = 1
+	}
+	for d := 0; d < len(hist); d += step {
+		count := 0
+		for k := d; k < d+step && k < len(hist); k++ {
+			count += hist[k]
+		}
+		fmt.Printf("  depth %5d..%-5d %8d events\n", d, min(d+step-1, len(hist)-1), count)
+	}
+
+	sends, recvs := tr.NodeActivity()
+	maxS, maxR, argS, argR := 0, 0, 0, 0
+	for n := range sends {
+		if sends[n] > maxS {
+			maxS, argS = sends[n], n
+		}
+		if recvs[n] > maxR {
+			maxR, argR = recvs[n], n
+		}
+	}
+	fmt.Printf("\nhottest sender: node %d (%d msgs); hottest receiver: node %d (%d msgs)\n",
+		argS, maxS, argR, maxR)
+
+	if verbose {
+		fmt.Printf("\ncritical path events:\n")
+		for _, id := range cp.Events {
+			e := tr.Event(id)
+			fmt.Printf("  #%d %s %d->%d %dB gap=%d lat=%d\n",
+				e.ID, e.Kind, e.Src, e.Dst, e.Bytes, e.Gap, e.RefArrive-e.RefInject)
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

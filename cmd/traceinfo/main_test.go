@@ -1,0 +1,36 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"onocsim"
+	"onocsim/internal/trace"
+)
+
+func TestRunOnRealTrace(t *testing.T) {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	cfg.Workload.Scale = 4
+	cfg.Workload.Iterations = 2
+	tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.sctm")
+	if err := trace.SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "absent.sctm"), false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package onocsim_test
+
+import (
+	"fmt"
+
+	"onocsim"
+)
+
+// ExampleCompare shows how replay estimates are scored against
+// execution-driven ground truth.
+func ExampleCompare() {
+	truth := onocsim.GroundTruth{Makespan: 10000, MeanLatency: 40}
+	replay := onocsim.ReplayResult{Makespan: 10500, MeanLatency: 42}
+	acc := onocsim.Compare(replay, truth)
+	fmt.Printf("makespan error %.1f%%, latency error %.1f%%\n",
+		acc.MakespanErr*100, acc.LatencyErr*100)
+	// Output:
+	// makespan error 5.0%, latency error 5.0%
+}
+
+// ExampleRunStudy runs the complete methodology comparison on a small chip.
+// The simulators are deterministic, so the resulting relationship — the
+// self-correction model beating naive replay — is reproducible.
+func ExampleRunStudy() {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	cfg.Workload.Kernel = "stencil"
+	cfg.Workload.Scale = 4
+	cfg.Workload.Iterations = 2
+
+	study, err := onocsim.RunStudy(cfg, onocsim.Optical)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("self-correction beats naive replay: %v\n",
+		study.SCTMAcc.MakespanErr < study.NaiveAcc.MakespanErr)
+	fmt.Printf("converged: %v\n", study.SCTM.Converged)
+	// Output:
+	// self-correction beats naive replay: true
+	// converged: true
+}
+
+// ExampleCaptureTrace demonstrates the trace capture + save/load round trip.
+func ExampleCaptureTrace() {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	cfg.Workload.Kernel = "lu"
+	cfg.Workload.Scale = 4
+
+	tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("captured a valid trace: %v\n", tr.Validate() == nil)
+	fmt.Printf("events > 0: %v\n", tr.NumEvents() > 0)
+	// Output:
+	// captured a valid trace: true
+	// events > 0: true
+}

@@ -1,0 +1,87 @@
+// Sweep characterizes the two fabrics open-loop (experiment R4's figure):
+// synthetic traffic at increasing injection rates, printing the load–latency
+// curve for each fabric as a table plus an ASCII latency histogram at the
+// last uncongested point.
+//
+// Run with:
+//
+//	go run ./examples/sweep [-pattern uniform] [-cores 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"onocsim"
+	"onocsim/internal/config"
+	"onocsim/internal/metrics"
+	"onocsim/internal/workload"
+)
+
+func main() {
+	pattern := flag.String("pattern", "uniform", "traffic pattern: uniform|transpose|hotspot|bitcomplement|neighbor|tornado")
+	cores := flag.Int("cores", 64, "node count (perfect square)")
+	flag.Parse()
+
+	rates := []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50}
+	t := metrics.NewTable(
+		fmt.Sprintf("load–latency sweep, %s traffic, %d nodes", *pattern, *cores),
+		"offered", "fabric", "mean lat", "p99 lat", "throughput", "saturated")
+
+	for _, rate := range rates {
+		for _, kind := range []onocsim.NetworkKind{onocsim.Electrical, onocsim.Optical} {
+			cfg := onocsim.DefaultConfig()
+			cfg.System.Cores = *cores
+			cfg.Workload = config.Workload{
+				Kind:          config.WorkloadSynthetic,
+				Pattern:       *pattern,
+				InjectionRate: rate,
+				PacketBytes:   64,
+				Packets:       200,
+				Kernel:        "stencil",
+				Scale:         1,
+				Iterations:    1,
+				ComputeScale:  1,
+			}
+			net, err := onocsim.BuildNetwork(cfg, kind)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := workload.RunSynthetic(net, cfg.Workload, cfg.Mesh.FlitBytes, cfg.Seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRow(
+				fmt.Sprintf("%.2f", rate),
+				string(kind),
+				fmt.Sprintf("%.1f", res.MeanLatency),
+				fmt.Sprintf("%.0f", res.P99Latency),
+				fmt.Sprintf("%.3f", res.Throughput),
+				fmt.Sprintf("%v", res.Saturated),
+			)
+		}
+	}
+	if err := t.WriteASCII(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Latency distribution on the optical fabric at moderate load.
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = *cores
+	cfg.Workload = config.Workload{
+		Kind: config.WorkloadSynthetic, Pattern: *pattern,
+		InjectionRate: 0.10, PacketBytes: 64, Packets: 200,
+		Kernel: "stencil", Scale: 1, Iterations: 1, ComputeScale: 1,
+	}
+	net, err := onocsim.BuildNetwork(cfg, onocsim.Optical)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := workload.RunSynthetic(net, cfg.Workload, cfg.Mesh.FlitBytes, cfg.Seed); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptical latency distribution at 0.10 flits/node/cycle:\n%s",
+		net.Stats().Latency.Render(50))
+}

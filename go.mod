@@ -1,0 +1,3 @@
+module onocsim
+
+go 1.22

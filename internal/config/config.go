@@ -1,0 +1,471 @@
+// Package config defines the JSON-serializable configuration schema for
+// every simulator in onocsim and validates it. One Config describes a
+// complete experiment: the chip (cores, caches), the interconnect (electrical
+// mesh or optical crossbar), the workload, and the self-correction trace
+// model parameters.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// NetworkKind selects which interconnect model a simulation uses.
+type NetworkKind string
+
+const (
+	// NetElectrical is the baseline wormhole virtual-channel mesh.
+	NetElectrical NetworkKind = "electrical"
+	// NetOptical is the wavelength-routed photonic crossbar.
+	NetOptical NetworkKind = "optical"
+	// NetIdeal is a contention-free fixed-latency network used as the
+	// cheap reference fabric for trace capture.
+	NetIdeal NetworkKind = "ideal"
+	// NetHybrid is the path-adaptive opto-electronic fabric: short hops
+	// ride the mesh, long hops the crossbar.
+	NetHybrid NetworkKind = "hybrid"
+)
+
+// Config is the root configuration object.
+type Config struct {
+	// Name labels the experiment in reports.
+	Name string `json:"name"`
+	// Seed drives every RNG stream in the simulation.
+	Seed uint64 `json:"seed"`
+
+	System   System   `json:"system"`
+	Mesh     Mesh     `json:"mesh"`
+	Optical  Optical  `json:"optical"`
+	Ideal    Ideal    `json:"ideal"`
+	Hybrid   Hybrid   `json:"hybrid"`
+	Workload Workload `json:"workload"`
+	SCTM     SCTM     `json:"sctm"`
+
+	// Network selects the interconnect under study.
+	Network NetworkKind `json:"network"`
+	// MaxCycles bounds any single simulation; 0 means the package default
+	// (a safety net against livelocked protocols, not a tuning knob).
+	MaxCycles int64 `json:"max_cycles"`
+}
+
+// System describes the CMP substrate: core count and the cache hierarchy.
+type System struct {
+	// Cores is the number of processing cores; it must be a positive
+	// perfect square so cores tile the 2-D mesh used by both fabrics.
+	Cores int `json:"cores"`
+	// L1Sets, L1Ways, L1LineBytes size the private L1 data cache.
+	L1Sets      int `json:"l1_sets"`
+	L1Ways      int `json:"l1_ways"`
+	L1LineBytes int `json:"l1_line_bytes"`
+	// L2SetsPerBank, L2Ways size each distributed shared-L2 bank (one
+	// bank per core tile, S-NUCA address interleaving).
+	L2SetsPerBank int `json:"l2_sets_per_bank"`
+	L2Ways        int `json:"l2_ways"`
+	// L2HitCycles is the bank access latency.
+	L2HitCycles int64 `json:"l2_hit_cycles"`
+	// MemCycles is the off-chip memory access latency beyond L2.
+	MemCycles int64 `json:"mem_cycles"`
+	// CtrlBytes and DataBytes are the network payload sizes of a control
+	// message (request/ack/inv) and a data-bearing message.
+	CtrlBytes int `json:"ctrl_bytes"`
+	DataBytes int `json:"data_bytes"`
+	// MemPorts places that many memory controllers at the chip corners
+	// (0–4). With 0 (the default), off-chip latency is folded into the
+	// home bank; with ≥1, every L2 data miss becomes real request/response
+	// traffic to a controller tile — the memory-bound traffic pattern
+	// photonic interconnects are usually pitched at.
+	MemPorts int `json:"mem_ports"`
+}
+
+// Mesh configures the baseline electrical NoC.
+type Mesh struct {
+	// Topology selects "mesh" (default) or "torus" (wraparound links with
+	// dateline virtual-channel deadlock avoidance; requires xy routing and
+	// at least two VCs per message class).
+	Topology string `json:"topology"`
+	// VCs is the number of virtual channels per physical port.
+	VCs int `json:"vcs"`
+	// BufDepth is flit buffer depth per VC.
+	BufDepth int `json:"buf_depth"`
+	// FlitBytes is the physical link width per cycle.
+	FlitBytes int `json:"flit_bytes"`
+	// RouterStages is the per-hop router pipeline latency in cycles.
+	RouterStages int64 `json:"router_stages"`
+	// LinkCycles is the per-hop wire traversal latency in cycles.
+	LinkCycles int64 `json:"link_cycles"`
+	// Routing selects "xy" (deterministic) or "westfirst" (partially
+	// adaptive, deadlock-free turn model).
+	Routing string `json:"routing"`
+}
+
+// Optical configures the photonic crossbar (Corona-class MWSR).
+type Optical struct {
+	// Architecture selects the crossbar organization: "mwsr" (Corona:
+	// token-arbitrated home channels, the default) or "swmr" (Firefly:
+	// per-sender broadcast channels, no arbitration, quadratic receivers).
+	Architecture string `json:"architecture"`
+	// WavelengthsPerChannel is the WDM degree of each home channel.
+	WavelengthsPerChannel int `json:"wavelengths_per_channel"`
+	// GbpsPerWavelength is the modulation rate of one wavelength.
+	GbpsPerWavelength float64 `json:"gbps_per_wavelength"`
+	// ClockGHz is the system clock used to convert line rate into
+	// bits-per-cycle channel capacity.
+	ClockGHz float64 `json:"clock_ghz"`
+	// TokenHopCycles is the token circulation delay between adjacent
+	// nodes on the arbitration waveguide.
+	TokenHopCycles int64 `json:"token_hop_cycles"`
+	// PropagationCyclesAcross is the light propagation time across the
+	// full die (worst case); per-pair delay scales with hop distance.
+	PropagationCyclesAcross int64 `json:"propagation_cycles_across"`
+	// OEOverheadCycles is modulation + detection + serdes overhead per
+	// message at the endpoints.
+	OEOverheadCycles int64 `json:"oe_overhead_cycles"`
+	// MaxTokenHold bounds how many packets a node may send back-to-back
+	// while holding a channel token, preventing starvation under hotspot
+	// traffic.
+	MaxTokenHold int `json:"max_token_hold"`
+	// DieEdgeCm is the physical die edge used by the loss budget.
+	DieEdgeCm float64 `json:"die_edge_cm"`
+}
+
+// Hybrid configures the path-adaptive opto-electronic fabric.
+type Hybrid struct {
+	// Threshold is the minimum Manhattan hop distance routed optically;
+	// shorter paths ride the electrical mesh.
+	Threshold int `json:"threshold"`
+}
+
+// Ideal configures the contention-free reference network.
+type Ideal struct {
+	// LatencyCycles is the fixed end-to-end message latency.
+	LatencyCycles int64 `json:"latency_cycles"`
+	// BytesPerCycle is the per-node injection bandwidth cap; 0 disables
+	// the cap entirely.
+	BytesPerCycle int `json:"bytes_per_cycle"`
+}
+
+// WorkloadKind names a traffic source.
+type WorkloadKind string
+
+const (
+	WorkloadSynthetic WorkloadKind = "synthetic"
+	WorkloadKernel    WorkloadKind = "kernel"
+)
+
+// Workload selects and parameterizes the traffic.
+type Workload struct {
+	Kind WorkloadKind `json:"kind"`
+
+	// Synthetic traffic parameters.
+	// Pattern is one of uniform, transpose, hotspot, bitcomplement,
+	// neighbor, tornado.
+	Pattern string `json:"pattern"`
+	// InjectionRate is flits/node/cycle offered load (electrical flit
+	// granularity is used for both fabrics so loads are comparable).
+	InjectionRate float64 `json:"injection_rate"`
+	// PacketBytes is the synthetic packet payload size.
+	PacketBytes int `json:"packet_bytes"`
+	// Packets is the total number of packets to inject per node.
+	Packets int `json:"packets"`
+
+	// Kernel parameters.
+	// Kernel is one of fft, lu, stencil, sort.
+	Kernel string `json:"kernel"`
+	// Scale sets the kernel problem size (kernel-specific meaning:
+	// FFT points per core, LU matrix blocks, stencil block edge, sort
+	// keys per core).
+	Scale int `json:"scale"`
+	// Iterations repeats iterative kernels (stencil sweeps).
+	Iterations int `json:"iterations"`
+	// ComputeScale multiplies every modelled compute gap, emulating
+	// faster or slower cores relative to the network.
+	ComputeScale float64 `json:"compute_scale"`
+	// Jitter adds seed-driven per-operation compute variation of ±Jitter
+	// (fraction, 0 disables), modelling input-dependent work. The R16
+	// experiment uses it to test seed robustness.
+	Jitter float64 `json:"jitter"`
+}
+
+// SCTM parameterizes the self-correction trace model.
+type SCTM struct {
+	// MaxIterations bounds the correction fixpoint loop.
+	MaxIterations int `json:"max_iterations"`
+	// ToleranceCycles stops iterating when the largest absolute change
+	// of any event's injection time falls to or below this value.
+	ToleranceCycles int64 `json:"tolerance_cycles"`
+	// InitialLatencyCycles seeds round 0 latency estimates; 0 means use
+	// the target network's zero-load estimate.
+	InitialLatencyCycles int64 `json:"initial_latency_cycles"`
+	// Damping blends each round's measured latencies with the previous
+	// estimates (0 = take measurements verbatim, 0.5 = halfway). The R8
+	// family of ablations sweeps it; the default is off because verbatim
+	// feedback reaches low makespan error fastest on our workloads.
+	Damping float64 `json:"damping"`
+	// MakespanTolerance is the relative makespan change between
+	// consecutive rounds below which the loop is declared converged
+	// (the per-event schedule keeps jittering under contention long
+	// after the aggregate stabilizes). 0 disables the criterion.
+	MakespanTolerance float64 `json:"makespan_tolerance"`
+	// DisableSyncDeps / DisableCausalDeps ablate dependency classes
+	// (experiment R8); production use leaves both false.
+	DisableSyncDeps   bool `json:"disable_sync_deps"`
+	DisableCausalDeps bool `json:"disable_causal_deps"`
+}
+
+// Default returns a fully populated baseline configuration: a 64-core chip,
+// canonical mesh and crossbar parameters from the 2012-era literature, and a
+// stencil kernel workload.
+func Default() Config {
+	return Config{
+		Name:    "default",
+		Seed:    42,
+		Network: NetElectrical,
+		System: System{
+			Cores:         64,
+			L1Sets:        64,
+			L1Ways:        4,
+			L1LineBytes:   64,
+			L2SetsPerBank: 256,
+			L2Ways:        8,
+			L2HitCycles:   6,
+			MemCycles:     120,
+			CtrlBytes:     8,
+			DataBytes:     72,
+		},
+		Mesh: Mesh{
+			Topology:     "mesh",
+			VCs:          4,
+			BufDepth:     4,
+			FlitBytes:    16,
+			RouterStages: 2,
+			LinkCycles:   1,
+			Routing:      "xy",
+		},
+		Optical: Optical{
+			Architecture:            "mwsr",
+			WavelengthsPerChannel:   16,
+			GbpsPerWavelength:       10,
+			ClockGHz:                2,
+			TokenHopCycles:          1,
+			PropagationCyclesAcross: 8,
+			OEOverheadCycles:        3,
+			MaxTokenHold:            4,
+			DieEdgeCm:               2.0,
+		},
+		Ideal: Ideal{
+			LatencyCycles: 20,
+			BytesPerCycle: 16,
+		},
+		Hybrid: Hybrid{
+			Threshold: 4,
+		},
+		Workload: Workload{
+			Kind:          WorkloadKernel,
+			Pattern:       "uniform",
+			InjectionRate: 0.05,
+			PacketBytes:   64,
+			Packets:       200,
+			Kernel:        "stencil",
+			Scale:         8,
+			Iterations:    4,
+			ComputeScale:  1,
+		},
+		SCTM: SCTM{
+			MaxIterations:     10,
+			ToleranceCycles:   2,
+			Damping:           0,
+			MakespanTolerance: 0.01,
+		},
+	}
+}
+
+// isSquare reports whether n is a positive perfect square.
+func isSquare(n int) bool {
+	if n <= 0 {
+		return false
+	}
+	for r := 1; r*r <= n; r++ {
+		if r*r == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate checks cross-field invariants and returns a descriptive error for
+// the first violation found.
+func (c *Config) Validate() error {
+	s := &c.System
+	switch {
+	case !isSquare(s.Cores):
+		return fmt.Errorf("config: system.cores=%d must be a positive perfect square", s.Cores)
+	case !isPow2(s.L1Sets) || s.L1Ways <= 0:
+		return fmt.Errorf("config: invalid L1 geometry sets=%d ways=%d", s.L1Sets, s.L1Ways)
+	case !isPow2(s.L1LineBytes):
+		return fmt.Errorf("config: l1_line_bytes=%d must be a power of two", s.L1LineBytes)
+	case !isPow2(s.L2SetsPerBank) || s.L2Ways <= 0:
+		return fmt.Errorf("config: invalid L2 geometry sets=%d ways=%d", s.L2SetsPerBank, s.L2Ways)
+	case s.L2HitCycles < 1 || s.MemCycles < 1:
+		return fmt.Errorf("config: latencies must be ≥1 (l2=%d mem=%d)", s.L2HitCycles, s.MemCycles)
+	case s.CtrlBytes <= 0 || s.DataBytes <= 0:
+		return fmt.Errorf("config: message sizes must be positive (ctrl=%d data=%d)", s.CtrlBytes, s.DataBytes)
+	case s.MemPorts < 0 || s.MemPorts > 4:
+		return fmt.Errorf("config: system.mem_ports=%d out of [0,4]", s.MemPorts)
+	}
+	m := &c.Mesh
+	switch {
+	case m.Topology != "mesh" && m.Topology != "torus":
+		return fmt.Errorf("config: mesh.topology=%q not in {mesh, torus}", m.Topology)
+	case m.Topology == "torus" && m.Routing != "xy":
+		return fmt.Errorf("config: torus requires xy routing, got %q", m.Routing)
+	case m.Topology == "torus" && m.VCs < 6:
+		return fmt.Errorf("config: torus needs ≥2 VCs per message class (≥6 total), got %d", m.VCs)
+	case m.VCs < 1 || m.VCs > 16:
+		return fmt.Errorf("config: mesh.vcs=%d out of [1,16]", m.VCs)
+	case m.BufDepth < 1:
+		return fmt.Errorf("config: mesh.buf_depth=%d must be ≥1", m.BufDepth)
+	case m.FlitBytes < 1:
+		return fmt.Errorf("config: mesh.flit_bytes=%d must be ≥1", m.FlitBytes)
+	case m.RouterStages < 1 || m.LinkCycles < 1:
+		return fmt.Errorf("config: mesh latencies must be ≥1")
+	case m.Routing != "xy" && m.Routing != "westfirst":
+		return fmt.Errorf("config: mesh.routing=%q not in {xy, westfirst}", m.Routing)
+	}
+	o := &c.Optical
+	switch {
+	case o.Architecture != "mwsr" && o.Architecture != "swmr":
+		return fmt.Errorf("config: optical.architecture=%q not in {mwsr, swmr}", o.Architecture)
+	case o.WavelengthsPerChannel < 1 || o.WavelengthsPerChannel > 128:
+		return fmt.Errorf("config: optical.wavelengths_per_channel=%d out of [1,128]", o.WavelengthsPerChannel)
+	case o.GbpsPerWavelength <= 0 || o.ClockGHz <= 0:
+		return fmt.Errorf("config: optical rates must be positive")
+	case o.TokenHopCycles < 1 || o.PropagationCyclesAcross < 0 || o.OEOverheadCycles < 0:
+		return fmt.Errorf("config: optical latencies invalid")
+	case o.MaxTokenHold < 1:
+		return fmt.Errorf("config: optical.max_token_hold=%d must be ≥1", o.MaxTokenHold)
+	case o.DieEdgeCm <= 0:
+		return fmt.Errorf("config: optical.die_edge_cm=%g must be positive", o.DieEdgeCm)
+	}
+	if c.Ideal.LatencyCycles < 1 {
+		return fmt.Errorf("config: ideal.latency_cycles=%d must be ≥1", c.Ideal.LatencyCycles)
+	}
+	if c.Ideal.BytesPerCycle < 0 {
+		return fmt.Errorf("config: ideal.bytes_per_cycle must be ≥0")
+	}
+	if c.Hybrid.Threshold < 1 {
+		return fmt.Errorf("config: hybrid.threshold=%d must be ≥1", c.Hybrid.Threshold)
+	}
+	w := &c.Workload
+	switch w.Kind {
+	case WorkloadSynthetic:
+		switch w.Pattern {
+		case "uniform", "transpose", "hotspot", "bitcomplement", "neighbor", "tornado":
+		default:
+			return fmt.Errorf("config: unknown synthetic pattern %q", w.Pattern)
+		}
+		if w.InjectionRate <= 0 || w.InjectionRate > 1 {
+			return fmt.Errorf("config: injection_rate=%g out of (0,1]", w.InjectionRate)
+		}
+		if w.PacketBytes <= 0 || w.Packets <= 0 {
+			return fmt.Errorf("config: synthetic sizes must be positive")
+		}
+	case WorkloadKernel:
+		switch w.Kernel {
+		case "fft", "lu", "stencil", "sort", "reduce":
+		default:
+			return fmt.Errorf("config: unknown kernel %q", w.Kernel)
+		}
+		if w.Scale <= 0 {
+			return fmt.Errorf("config: workload.scale=%d must be positive", w.Scale)
+		}
+		if w.Iterations <= 0 {
+			return fmt.Errorf("config: workload.iterations=%d must be positive", w.Iterations)
+		}
+		if w.ComputeScale <= 0 {
+			return fmt.Errorf("config: workload.compute_scale must be positive")
+		}
+		if w.Jitter < 0 || w.Jitter > 0.5 {
+			return fmt.Errorf("config: workload.jitter=%g out of [0,0.5]", w.Jitter)
+		}
+	default:
+		return fmt.Errorf("config: unknown workload kind %q", w.Kind)
+	}
+	switch c.Network {
+	case NetElectrical, NetOptical, NetIdeal, NetHybrid:
+	default:
+		return fmt.Errorf("config: unknown network %q", c.Network)
+	}
+	t := &c.SCTM
+	if t.MaxIterations < 1 {
+		return fmt.Errorf("config: sctm.max_iterations=%d must be ≥1", t.MaxIterations)
+	}
+	if t.ToleranceCycles < 0 {
+		return fmt.Errorf("config: sctm.tolerance_cycles must be ≥0")
+	}
+	if t.Damping < 0 || t.Damping >= 1 {
+		return fmt.Errorf("config: sctm.damping=%g out of [0,1)", t.Damping)
+	}
+	if t.MakespanTolerance < 0 || t.MakespanTolerance > 0.5 {
+		return fmt.Errorf("config: sctm.makespan_tolerance=%g out of [0,0.5]", t.MakespanTolerance)
+	}
+	if c.MaxCycles < 0 {
+		return fmt.Errorf("config: max_cycles must be ≥0")
+	}
+	return nil
+}
+
+// MeshWidth returns the edge length of the square core grid.
+func (c *Config) MeshWidth() int {
+	r := 1
+	for r*r < c.System.Cores {
+		r++
+	}
+	return r
+}
+
+// MaxCyclesOrDefault returns the simulation cycle bound, substituting a
+// generous default when unset.
+func (c *Config) MaxCyclesOrDefault() int64 {
+	if c.MaxCycles > 0 {
+		return c.MaxCycles
+	}
+	return 200_000_000
+}
+
+// Load reads and validates a JSON config file.
+func Load(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates JSON bytes. Unknown fields are rejected so
+// typos in experiment configs fail loudly.
+func Parse(data []byte) (Config, error) {
+	c := Default()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("config: decode: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Save writes the config as indented JSON.
+func (c *Config) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: encode: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"onocsim/internal/metrics"
+	"onocsim/internal/sim"
+)
+
+// Accuracy compares a replay-derived estimate against execution-driven
+// ground truth on the same target fabric.
+type Accuracy struct {
+	// MakespanErr and LatencyErr are relative errors (fractions).
+	MakespanErr float64
+	LatencyErr  float64
+	// EstimatedMakespan / TrueMakespan document the raw numbers.
+	EstimatedMakespan sim.Tick
+	TrueMakespan      sim.Tick
+	EstimatedLatency  float64
+	TrueLatency       float64
+}
+
+// CompareToTruth computes the accuracy of a replay against ground truth
+// measurements (makespan in cycles, mean message latency in cycles).
+func CompareToTruth(replayMakespan sim.Tick, replayMeanLat float64,
+	trueMakespan sim.Tick, trueMeanLat float64) Accuracy {
+	return Accuracy{
+		MakespanErr:       metrics.RelErr(float64(replayMakespan), float64(trueMakespan)),
+		LatencyErr:        metrics.RelErr(replayMeanLat, trueMeanLat),
+		EstimatedMakespan: replayMakespan,
+		TrueMakespan:      trueMakespan,
+		EstimatedLatency:  replayMeanLat,
+		TrueLatency:       trueMeanLat,
+	}
+}

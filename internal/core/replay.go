@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"onocsim/internal/noc"
+	"onocsim/internal/sim"
+	"onocsim/internal/trace"
+)
+
+// ReplayResult reports one trace replay on a target fabric.
+type ReplayResult struct {
+	// Inject and Arrive are the realized per-event times (indexed by
+	// event ID minus one).
+	Inject []sim.Tick
+	Arrive []sim.Tick
+	// Makespan estimates total application time: the last arrival plus
+	// the capture run's trailing computation (the tail after its own last
+	// arrival, which the network cannot change).
+	Makespan sim.Tick
+	// MeanLatency is the mean realized message latency in cycles.
+	MeanLatency float64
+	// Cycles is how long the fabric was ticked.
+	Cycles sim.Tick
+	// NetStats is the fabric's own statistics block.
+	NetStats *noc.Stats
+}
+
+// Latencies returns the realized per-event latencies, suitable as the next
+// correction iteration's estimates.
+func (r *ReplayResult) Latencies() []sim.Tick {
+	out := make([]sim.Tick, len(r.Inject))
+	for i := range out {
+		out[i] = r.Arrive[i] - r.Inject[i]
+	}
+	return out
+}
+
+// replayPayload tags fabric messages with their trace event index.
+type replayPayload struct{ idx int }
+
+// ReplaySchedule injects every trace event into net at the given absolute
+// times and runs the fabric until all are delivered. The fabric must be
+// fresh (at time zero, no prior traffic).
+func ReplaySchedule(net noc.Network, tr *trace.Trace, inject []sim.Tick) (ReplayResult, error) {
+	if net.Now() != 0 {
+		return ReplayResult{}, fmt.Errorf("core: replay fabric is not fresh (now=%d)", net.Now())
+	}
+	if net.Nodes() != tr.Nodes {
+		return ReplayResult{}, fmt.Errorf("core: fabric has %d nodes, trace has %d", net.Nodes(), tr.Nodes)
+	}
+	if len(inject) != len(tr.Events) {
+		return ReplayResult{}, fmt.Errorf("core: %d injection times for %d events", len(inject), len(tr.Events))
+	}
+	n := len(tr.Events)
+	res := ReplayResult{
+		Inject: make([]sim.Tick, n),
+		Arrive: make([]sim.Tick, n),
+	}
+	// Injection order: by time, then ID, mirroring capture determinism.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return inject[order[a]] < inject[order[b]] })
+
+	delivered := 0
+	net.SetDeliver(func(m *noc.Message) {
+		idx := m.Payload.(replayPayload).idx
+		res.Arrive[idx] = m.Arrive
+		res.Inject[idx] = m.Inject
+		delivered++
+	})
+
+	next := 0
+	for delivered < n {
+		now := net.Now()
+		for next < n && inject[order[next]] <= now {
+			i := order[next]
+			e := &tr.Events[i]
+			net.Inject(&noc.Message{
+				ID:      uint64(e.ID),
+				Src:     e.Src,
+				Dst:     e.Dst,
+				Bytes:   e.Bytes,
+				Class:   e.Class,
+				Payload: replayPayload{idx: i},
+			})
+			next++
+		}
+		net.Tick()
+		// Guard against fabric bugs swallowing messages.
+		if net.Now() > inject[order[n-1]]+sim.Tick(1_000_000_000) {
+			return ReplayResult{}, fmt.Errorf("core: replay did not drain (%d/%d delivered)", delivered, n)
+		}
+	}
+	finalizeResult(&res, tr, net)
+	return res, nil
+}
+
+// finalizeResult computes makespan and summary statistics.
+func finalizeResult(res *ReplayResult, tr *trace.Trace, net noc.Network) {
+	var maxArr, maxRef sim.Tick
+	var sum float64
+	for i := range res.Arrive {
+		if res.Arrive[i] > maxArr {
+			maxArr = res.Arrive[i]
+		}
+		if tr.Events[i].RefArrive > maxRef {
+			maxRef = tr.Events[i].RefArrive
+		}
+		sum += float64(res.Arrive[i] - res.Inject[i])
+	}
+	tail := tr.RefMakespan - maxRef
+	if tail < 0 {
+		tail = 0
+	}
+	res.Makespan = maxArr + tail
+	if len(res.Arrive) > 0 {
+		res.MeanLatency = sum / float64(len(res.Arrive))
+	}
+	res.Cycles = net.Now()
+	res.NetStats = net.Stats()
+}
+
+// NaiveReplay replays the trace at its recorded capture-network timestamps —
+// the conventional trace-driven methodology the paper shows to be wrong on a
+// fabric with different timing.
+func NaiveReplay(net noc.Network, tr *trace.Trace) (ReplayResult, error) {
+	inject := make([]sim.Tick, len(tr.Events))
+	for i := range tr.Events {
+		inject[i] = tr.Events[i].RefInject
+	}
+	return ReplaySchedule(net, tr, inject)
+}
+
+// CoupledReplay resolves dependencies *inside* the network simulation: an
+// event is injected its gap after its last dependency physically arrives on
+// the target fabric. One pass, no estimates — the expensive upper-accuracy
+// reference the self-correction loop approaches.
+func CoupledReplay(net noc.Network, tr *trace.Trace, opts ScheduleOptions) (ReplayResult, error) {
+	if net.Now() != 0 {
+		return ReplayResult{}, fmt.Errorf("core: replay fabric is not fresh (now=%d)", net.Now())
+	}
+	if net.Nodes() != tr.Nodes {
+		return ReplayResult{}, fmt.Errorf("core: fabric has %d nodes, trace has %d", net.Nodes(), tr.Nodes)
+	}
+	n := len(tr.Events)
+	res := ReplayResult{
+		Inject: make([]sim.Tick, n),
+		Arrive: make([]sim.Tick, n),
+	}
+	// Dependency bookkeeping.
+	remaining := make([]int, n)
+	lastDep := make([]sim.Tick, n)
+	children := make([][]int, n)
+	for i := range tr.Events {
+		for _, d := range tr.Events[i].Deps {
+			if !opts.keepDep(d.Class) {
+				continue
+			}
+			di := int(d.On) - 1
+			children[di] = append(children[di], i)
+			remaining[i]++
+		}
+	}
+	// ready is a time-ordered queue of events whose dependencies are all
+	// arrived; we keep it as a simple sorted insertion since fan-out per
+	// tick is small.
+	type readyEv struct {
+		at  sim.Tick
+		idx int
+	}
+	var ready []readyEv
+	pushReady := func(idx int, at sim.Tick) {
+		ready = append(ready, readyEv{at: at, idx: idx})
+	}
+	for i := range tr.Events {
+		if remaining[i] == 0 {
+			pushReady(i, tr.Events[i].Gap)
+		}
+	}
+
+	delivered := 0
+	net.SetDeliver(func(m *noc.Message) {
+		idx := m.Payload.(replayPayload).idx
+		res.Arrive[idx] = m.Arrive
+		res.Inject[idx] = m.Inject
+		delivered++
+		for _, ch := range children[idx] {
+			if m.Arrive+tr.Events[ch].Gap > lastDep[ch] {
+				lastDep[ch] = m.Arrive + tr.Events[ch].Gap
+			}
+			remaining[ch]--
+			if remaining[ch] == 0 {
+				pushReady(ch, lastDep[ch])
+			}
+		}
+	})
+
+	var stall sim.Tick
+	for delivered < n {
+		now := net.Now()
+		// Inject everything ready at or before now. Linear scan; the
+		// list stays short because injected entries are removed.
+		progressed := false
+		for i := 0; i < len(ready); {
+			if ready[i].at <= now {
+				idx := ready[i].idx
+				e := &tr.Events[idx]
+				net.Inject(&noc.Message{
+					ID:      uint64(e.ID),
+					Src:     e.Src,
+					Dst:     e.Dst,
+					Bytes:   e.Bytes,
+					Class:   e.Class,
+					Payload: replayPayload{idx: idx},
+				})
+				ready[i] = ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				progressed = true
+			} else {
+				i++
+			}
+		}
+		net.Tick()
+		if progressed || net.Busy() {
+			stall = 0
+		} else {
+			stall++
+			if stall > 10_000_000 {
+				return ReplayResult{}, fmt.Errorf("core: coupled replay stalled (%d/%d delivered)", delivered, n)
+			}
+		}
+	}
+	finalizeResult(&res, tr, net)
+	return res, nil
+}

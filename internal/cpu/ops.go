@@ -1,0 +1,109 @@
+// Package cpu implements the full-system CMP substrate that drives the
+// networks with real, dependency-rich traffic: in-order cores executing
+// explicit programs, private L1 caches kept coherent by an MSI directory
+// protocol over distributed shared-L2 banks, and lock/barrier managers.
+//
+// This substrate plays the role of the Simics/GEMS-class front end the
+// original authors used. It is execution-driven: core progress depends on
+// network timing, so running the same program on two fabrics yields
+// different interleavings — exactly the effect the Self-Correction Trace
+// Model must reconstruct from a trace captured on a third, cheaper fabric.
+package cpu
+
+import "fmt"
+
+// OpKind enumerates the instruction repertoire of the synthetic cores.
+type OpKind uint8
+
+const (
+	// OpCompute models local work of a given cycle count.
+	OpCompute OpKind = iota
+	// OpLoad reads one cache line through the coherence protocol.
+	OpLoad
+	// OpStore writes one cache line (requires M state).
+	OpStore
+	// OpLock acquires a global lock by ID (blocking).
+	OpLock
+	// OpUnlock releases a lock by ID.
+	OpUnlock
+	// OpBarrier joins a global barrier by ID (blocking until all cores
+	// arrive).
+	OpBarrier
+	numOpKinds
+)
+
+var opNames = [numOpKinds]string{"compute", "load", "store", "lock", "unlock", "barrier"}
+
+// String names the op kind.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return "invalid"
+}
+
+// Op is one instruction. Arg is cycles for OpCompute, a byte address for
+// OpLoad/OpStore, and a lock/barrier ID for the synchronization ops.
+type Op struct {
+	Kind OpKind
+	Arg  uint64
+}
+
+// Compute returns a compute op of n cycles (minimum 1).
+func Compute(n int64) Op {
+	if n < 1 {
+		n = 1
+	}
+	return Op{Kind: OpCompute, Arg: uint64(n)}
+}
+
+// Load returns a load of the line containing addr.
+func Load(addr uint64) Op { return Op{Kind: OpLoad, Arg: addr} }
+
+// Store returns a store to the line containing addr.
+func Store(addr uint64) Op { return Op{Kind: OpStore, Arg: addr} }
+
+// Lock returns a lock acquisition.
+func Lock(id uint64) Op { return Op{Kind: OpLock, Arg: id} }
+
+// Unlock returns a lock release.
+func Unlock(id uint64) Op { return Op{Kind: OpUnlock, Arg: id} }
+
+// Barrier returns a global barrier join.
+func Barrier(id uint64) Op { return Op{Kind: OpBarrier, Arg: id} }
+
+// Program is the instruction sequence of one core.
+type Program []Op
+
+// Validate rejects programs with malformed ops or unbalanced locks, the two
+// mistakes that hang a simulation in ways that are miserable to debug.
+func (p Program) Validate() error {
+	held := map[uint64]bool{}
+	for i, op := range p {
+		if op.Kind >= numOpKinds {
+			return fmt.Errorf("cpu: op %d has invalid kind %d", i, op.Kind)
+		}
+		switch op.Kind {
+		case OpCompute:
+			if op.Arg == 0 {
+				return fmt.Errorf("cpu: op %d is a zero-cycle compute", i)
+			}
+		case OpLock:
+			if held[op.Arg] {
+				return fmt.Errorf("cpu: op %d re-acquires held lock %d", i, op.Arg)
+			}
+			held[op.Arg] = true
+		case OpUnlock:
+			if !held[op.Arg] {
+				return fmt.Errorf("cpu: op %d releases unheld lock %d", i, op.Arg)
+			}
+			delete(held, op.Arg)
+		}
+	}
+	if len(held) > 0 {
+		for id := range held {
+			return fmt.Errorf("cpu: program ends holding lock %d", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package cpu
+
+import (
+	"fmt"
+
+	"onocsim/internal/config"
+	"onocsim/internal/noc"
+	"onocsim/internal/sim"
+	"onocsim/internal/trace"
+)
+
+// System couples the cores and home banks to a fabric and drives the whole
+// chip cycle by cycle. The same System runs execution-driven ground truth
+// (no recorder) and trace capture (with recorder) on any noc.Network.
+type System struct {
+	cfg   config.Config
+	net   noc.Network
+	nodes int
+	now   sim.Tick
+
+	cores []*core
+	banks []*bank
+
+	rec   *trace.Recorder
+	msgID uint64
+
+	inbox []arrivedMsg
+	// eng schedules delayed bank responses: the bank occupancy model is
+	// a small discrete-event simulation riding on the synchronous tick
+	// loop (RunUntil flushes the events due each cycle).
+	eng *sim.Engine
+
+	lineBits uint
+}
+
+// NewSystem builds a chip from a validated config, per-core programs, and a
+// fabric. programs must have exactly one entry per core. rec may be nil.
+func NewSystem(cfg config.Config, programs []Program, net noc.Network, rec *trace.Recorder) (*System, error) {
+	if len(programs) != cfg.System.Cores {
+		return nil, fmt.Errorf("cpu: %d programs for %d cores", len(programs), cfg.System.Cores)
+	}
+	if net.Nodes() != cfg.System.Cores {
+		return nil, fmt.Errorf("cpu: fabric has %d nodes, system has %d cores", net.Nodes(), cfg.System.Cores)
+	}
+	lb := uint(0)
+	for 1<<lb < cfg.System.L1LineBytes {
+		lb++
+	}
+	s := &System{cfg: cfg, net: net, nodes: cfg.System.Cores, rec: rec, lineBits: lb, eng: sim.NewEngine()}
+	for i, p := range programs {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("cpu: core %d: %w", i, err)
+		}
+		s.cores = append(s.cores, newCore(i, s, p))
+	}
+	for i := 0; i < s.nodes; i++ {
+		s.banks = append(s.banks, newBank(i, s))
+	}
+	net.SetDeliver(s.onDeliver)
+	return s, nil
+}
+
+// homeOf maps a line to its home tile (S-NUCA line interleaving).
+func (s *System) homeOf(line uint64) int { return int(line % uint64(s.nodes)) }
+
+// homeOfSync maps a lock/barrier ID to its manager tile.
+func (s *System) homeOfSync(id uint64) int { return int(id % uint64(s.nodes)) }
+
+// memControllerOf maps a line to its memory controller tile: controllers
+// sit at the chip corners, line-interleaved.
+func (s *System) memControllerOf(line uint64) int {
+	w := s.cfg.MeshWidth()
+	corners := [4]int{0, w - 1, (w - 1) * w, s.nodes - 1}
+	return corners[int(line)%s.cfg.System.MemPorts]
+}
+
+// bytesFor returns the fabric payload size of a protocol message.
+func (s *System) bytesFor(pm *protoMsg) int {
+	if pm.isData() {
+		return s.cfg.System.DataBytes
+	}
+	return s.cfg.System.CtrlBytes
+}
+
+// inject records (if capturing) and injects a protocol message now.
+func (s *System) inject(src, dst int, pm *protoMsg, deps []trace.Dep, depTime sim.Tick) {
+	if s.rec != nil {
+		pm.traceID = s.rec.RecordSend(trace.SendInfo{
+			Src:         src,
+			Dst:         dst,
+			Bytes:       s.bytesFor(pm),
+			Class:       pm.class(),
+			Kind:        pm.traceKind(),
+			Deps:        deps,
+			DepResolved: depTime,
+			Now:         s.now,
+		})
+	}
+	s.msgID++
+	s.net.Inject(&noc.Message{
+		ID:      s.msgID,
+		Src:     src,
+		Dst:     dst,
+		Bytes:   s.bytesFor(pm),
+		Class:   pm.class(),
+		Payload: pm,
+	})
+}
+
+// send schedules a message after a service delay (bank responses).
+func (s *System) send(src, dst int, pm *protoMsg, delay sim.Tick, deps []trace.Dep, depTime sim.Tick) {
+	if delay <= 0 {
+		s.inject(src, dst, pm, deps, depTime)
+		return
+	}
+	s.eng.Schedule(s.now+delay, func() {
+		s.inject(src, dst, pm, deps, depTime)
+	})
+}
+
+// sendFromCore routes a core-originated message to its implicit home.
+func (s *System) sendFromCore(c *core, pm *protoMsg, deps []trace.Dep, depTime sim.Tick) {
+	var dst int
+	switch pm.typ {
+	case mGetS, mGetM, mWB:
+		dst = s.homeOf(pm.line)
+	case mLockReq, mLockRel, mBarArrive:
+		dst = s.homeOfSync(pm.id)
+	default:
+		panic(fmt.Sprintf("cpu: core message %s has no implicit home", pm.typ))
+	}
+	s.inject(c.id, dst, pm, deps, depTime)
+}
+
+// sendFromCoreTo routes a core-originated message to an explicit node.
+func (s *System) sendFromCoreTo(c *core, dst int, pm *protoMsg, deps []trace.Dep, depTime sim.Tick) {
+	s.inject(c.id, dst, pm, deps, depTime)
+}
+
+// onDeliver collects fabric deliveries; they are dispatched after the
+// fabric tick completes so handler-triggered sends see a settled cycle.
+func (s *System) onDeliver(m *noc.Message) {
+	pm, ok := m.Payload.(*protoMsg)
+	if !ok {
+		panic(fmt.Sprintf("cpu: delivery %d carries foreign payload %T", m.ID, m.Payload))
+	}
+	s.inbox = append(s.inbox, arrivedMsg{msg: pm, dst: m.Dst, at: m.Arrive})
+}
+
+// tick advances the whole chip one cycle.
+func (s *System) tick() {
+	s.net.Tick()
+	s.now = s.net.Now()
+
+	// Dispatch deliveries in fabric order.
+	if len(s.inbox) > 0 {
+		batch := s.inbox
+		s.inbox = s.inbox[len(s.inbox):]
+		for _, am := range batch {
+			if s.rec != nil && am.msg.traceID != trace.None {
+				s.rec.RecordArrive(am.msg.traceID, am.at)
+			}
+			switch am.msg.typ {
+			case mGetS, mGetM, mWB, mInvAck, mWBData, mRecallAck,
+				mLockReq, mLockRel, mBarArrive, mMemReq, mMemResp:
+				s.banks[am.dst].handle(am)
+			default:
+				s.cores[am.dst].handle(am)
+			}
+		}
+	}
+
+	// Flush bank responses whose service delay expired.
+	s.eng.RunUntil(s.now)
+
+	// Advance cores.
+	for _, c := range s.cores {
+		c.step()
+	}
+}
+
+// RunResult summarizes an execution-driven run.
+type RunResult struct {
+	// Makespan is the cycle the last core finished its program.
+	Makespan sim.Tick
+	// DrainTime is when the last in-flight message retired.
+	DrainTime sim.Tick
+	// Cycles is the number of simulated cycles (equals DrainTime).
+	Cycles sim.Tick
+	// Messages is the total fabric message count.
+	Messages uint64
+}
+
+// Run drives the system until every core finishes and the fabric drains,
+// or errors out at the cycle bound (indicating livelock or an undersized
+// bound).
+func (s *System) Run(maxCycles int64) (RunResult, error) {
+	bound := sim.Tick(maxCycles)
+	for {
+		s.tick()
+		if s.done() {
+			break
+		}
+		if s.now >= bound {
+			return RunResult{}, fmt.Errorf("cpu: simulation exceeded %d cycles (cores: %s)", maxCycles, s.coreStates())
+		}
+	}
+	var makespan sim.Tick
+	for _, c := range s.cores {
+		if c.doneAt > makespan {
+			makespan = c.doneAt
+		}
+	}
+	return RunResult{
+		Makespan:  makespan,
+		DrainTime: s.now,
+		Cycles:    s.now,
+		Messages:  s.msgID,
+	}, nil
+}
+
+// done reports whether all cores finished and nothing is in flight.
+func (s *System) done() bool {
+	for _, c := range s.cores {
+		if c.state != coreDone {
+			return false
+		}
+	}
+	return !s.net.Busy() && s.eng.Pending() == 0 && len(s.inbox) == 0
+}
+
+// coreStates summarizes core states for timeout diagnostics.
+func (s *System) coreStates() string {
+	counts := map[coreState]int{}
+	for _, c := range s.cores {
+		counts[c.state]++
+	}
+	return fmt.Sprintf("running=%d wait-mem=%d wait-lock=%d wait-barrier=%d done=%d",
+		counts[coreRunning], counts[coreWaitMem], counts[coreWaitLock], counts[coreWaitBarrier], counts[coreDone])
+}
+
+// Network returns the fabric the system drives.
+func (s *System) Network() noc.Network { return s.net }
+
+// Now returns the current system cycle.
+func (s *System) Now() sim.Tick { return s.now }
+
+// CoreStats aggregates per-core counters for reports.
+type CoreStats struct {
+	ComputeCycles uint64
+	MemOps        uint64
+	SyncOps       uint64
+	L1Hits        uint64
+	L1Misses      uint64
+	L1Evictions   uint64
+}
+
+// Stats sums core-side counters across the chip.
+func (s *System) Stats() CoreStats {
+	var t CoreStats
+	for _, c := range s.cores {
+		t.ComputeCycles += c.ComputeCycles
+		t.MemOps += c.MemOps
+		t.SyncOps += c.SyncOps
+		t.L1Hits += c.l1.Hits
+		t.L1Misses += c.l1.Misses
+		t.L1Evictions += c.l1.Evictions
+	}
+	return t
+}

@@ -1,0 +1,283 @@
+package enoc
+
+import (
+	"fmt"
+
+	"onocsim/internal/config"
+	"onocsim/internal/noc"
+	"onocsim/internal/sim"
+)
+
+// Network is the electrical mesh fabric (optionally a torus). It implements
+// noc.Network.
+type Network struct {
+	cfg   config.Mesh
+	width int
+	nodes int
+	torus bool
+
+	now     sim.Tick
+	deliver noc.DeliverFunc
+	stats   *noc.Stats
+	power   powerCounters
+
+	routers []*router
+	nis     []*netIface
+
+	// selfQ holds Src==Dst messages pending their next-cycle delivery.
+	selfQ []selfMsg
+	// inflight counts injected-but-undelivered packets (including
+	// self-messages) for Busy.
+	inflight int
+}
+
+type selfMsg struct {
+	at  sim.Tick
+	msg *noc.Message
+}
+
+// New builds a width×width mesh where width² equals nodes. It panics on a
+// non-square node count, matching the config validation contract.
+func New(nodes int, cfg config.Mesh) *Network {
+	width := 1
+	for width*width < nodes {
+		width++
+	}
+	if width*width != nodes {
+		panic(fmt.Sprintf("enoc: %d nodes is not a perfect square", nodes))
+	}
+	n := &Network{cfg: cfg, width: width, nodes: nodes, torus: cfg.Topology == "torus", stats: noc.NewStats()}
+	n.routers = make([]*router, nodes)
+	for id := 0; id < nodes; id++ {
+		n.routers[id] = newRouter(id, id%width, id/width, n)
+	}
+	// Wire neighbor links and the upstream credit paths.
+	connect := func(from *router, outPort int, to *router, inPort int, wrap bool) {
+		from.outLink[outPort] = &link{delay: sim.Tick(cfg.LinkCycles), dst: to, dstPort: inPort, wrap: wrap}
+		to.upstream[inPort] = &upstreamRef{r: from, port: outPort}
+	}
+	for id := 0; id < nodes; id++ {
+		r := n.routers[id]
+		if r.y > 0 {
+			connect(r, portNorth, n.routers[id-width], portSouth, false)
+		} else if n.torus && width > 1 {
+			connect(r, portNorth, n.routers[r.x+(width-1)*width], portSouth, true)
+		}
+		if r.y < width-1 {
+			connect(r, portSouth, n.routers[id+width], portNorth, false)
+		} else if n.torus && width > 1 {
+			connect(r, portSouth, n.routers[r.x], portNorth, true)
+		}
+		if r.x < width-1 {
+			connect(r, portEast, n.routers[id+1], portWest, false)
+		} else if n.torus && width > 1 {
+			connect(r, portEast, n.routers[r.y*width], portWest, true)
+		}
+		if r.x > 0 {
+			connect(r, portWest, n.routers[id-1], portEast, false)
+		} else if n.torus && width > 1 {
+			connect(r, portWest, n.routers[r.y*width+width-1], portEast, true)
+		}
+	}
+	n.nis = make([]*netIface, nodes)
+	for id := 0; id < nodes; id++ {
+		n.nis[id] = &netIface{node: id, net: n}
+	}
+	return n
+}
+
+// Nodes implements noc.Network.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Width returns the mesh edge length.
+func (n *Network) Width() int { return n.width }
+
+// Now implements noc.Network.
+func (n *Network) Now() sim.Tick { return n.now }
+
+// Stats implements noc.Network.
+func (n *Network) Stats() *noc.Stats { return n.stats }
+
+// SetDeliver implements noc.Network.
+func (n *Network) SetDeliver(fn noc.DeliverFunc) { n.deliver = fn }
+
+// Inject implements noc.Network.
+func (n *Network) Inject(m *noc.Message) {
+	if m.Src < 0 || m.Src >= n.nodes || m.Dst < 0 || m.Dst >= n.nodes {
+		panic(fmt.Sprintf("enoc: message %d endpoints (%d->%d) out of range [0,%d)", m.ID, m.Src, m.Dst, n.nodes))
+	}
+	m.Inject = n.now
+	n.stats.Injected++
+	n.inflight++
+	if m.Src == m.Dst {
+		n.selfQ = append(n.selfQ, selfMsg{at: n.now + 1, msg: m})
+		return
+	}
+	p := &packet{msg: m, nflits: flitsFor(m.Bytes, n.cfg.FlitBytes)}
+	n.nis[m.Src].enqueue(p)
+}
+
+// Tick implements noc.Network: link drain, then allocation, then injection,
+// all in deterministic node order.
+func (n *Network) Tick() {
+	n.now++
+	// Self-messages bypass the fabric with a one-cycle loopback latency.
+	if len(n.selfQ) > 0 {
+		keep := n.selfQ[:0]
+		for _, s := range n.selfQ {
+			if s.at <= n.now {
+				s.msg.Arrive = n.now
+				n.stats.RecordDelivery(s.msg)
+				n.stats.HopCount.Add(0)
+				n.inflight--
+				if n.deliver != nil {
+					n.deliver(s.msg)
+				}
+			} else {
+				keep = append(keep, s)
+			}
+		}
+		n.selfQ = keep
+	}
+	for _, r := range n.routers {
+		r.drainLinks()
+	}
+	for _, r := range n.routers {
+		r.allocate()
+	}
+	for _, ni := range n.nis {
+		ni.tryInject()
+	}
+}
+
+// eject is called by a router's local port as flits complete.
+func (n *Network) eject(node int, f *flit) {
+	if !f.isTail {
+		return
+	}
+	m := f.pkt.msg
+	if node != m.Dst {
+		panic(fmt.Sprintf("enoc: message %d ejected at %d, expected %d", m.ID, node, m.Dst))
+	}
+	m.Arrive = n.now
+	n.stats.RecordDelivery(m)
+	n.stats.HopCount.Add(float64(f.pkt.hops))
+	n.stats.QueueDelay.Add(float64(f.pkt.enterNI - m.Inject))
+	n.inflight--
+	if n.deliver != nil {
+		n.deliver(m)
+	}
+}
+
+// Busy implements noc.Network.
+func (n *Network) Busy() bool { return n.inflight > 0 }
+
+// ZeroLoadLatency implements noc.Network: per-hop pipeline plus wire delay
+// plus serialization, with one cycle of injection overhead.
+func (n *Network) ZeroLoadLatency(src, dst, bytes int) sim.Tick {
+	if src == dst {
+		return 1
+	}
+	sx, sy := src%n.width, src/n.width
+	dx, dy := dst%n.width, dst/n.width
+	hx, hy := abs(dx-sx), abs(dy-sy)
+	if n.torus {
+		if w := n.width - hx; w < hx {
+			hx = w
+		}
+		if w := n.width - hy; w < hy {
+			hy = w
+		}
+	}
+	hops := hx + hy
+	nflits := flitsFor(bytes, n.cfg.FlitBytes)
+	return sim.Tick(hops+1)*sim.Tick(n.cfg.RouterStages) + sim.Tick(hops)*sim.Tick(n.cfg.LinkCycles) + sim.Tick(nflits)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// netIface is the per-node network interface: per-class injection queues,
+// one flit injected per cycle, VC allocation against the local input port.
+type netIface struct {
+	node    int
+	net     *Network
+	classQ  [noc.NumClasses][]*packet
+	sending [noc.NumClasses]*sendState
+	rr      int
+}
+
+// sendState tracks an in-progress packet injection.
+type sendState struct {
+	pkt  *packet
+	vc   int
+	next int
+}
+
+func (ni *netIface) enqueue(p *packet) {
+	c := p.msg.Class
+	if c >= noc.NumClasses {
+		panic(fmt.Sprintf("enoc: message %d has invalid class %d", p.msg.ID, c))
+	}
+	ni.classQ[c] = append(ni.classQ[c], p)
+}
+
+// tryInject pushes at most one flit into the local router this cycle,
+// round-robining across classes for fairness.
+func (ni *netIface) tryInject() {
+	r := ni.net.routers[ni.node]
+	for k := 0; k < int(noc.NumClasses); k++ {
+		c := noc.Class((ni.rr + k) % int(noc.NumClasses))
+		if ni.injectClass(r, c) {
+			ni.rr = (ni.rr + k + 1) % int(noc.NumClasses)
+			return
+		}
+	}
+}
+
+// injectClass attempts one flit for class c; reports whether a flit moved.
+func (ni *netIface) injectClass(r *router, c noc.Class) bool {
+	st := ni.sending[c]
+	if st == nil {
+		if len(ni.classQ[c]) == 0 {
+			return false
+		}
+		// Find a free local-input VC in this class's partition.
+		lo, hi := r.vcRange(c)
+		vc := -1
+		for v := lo; v < hi; v++ {
+			if r.in[portLocal][v].owner == nil && len(r.in[portLocal][v].q) < ni.net.cfg.BufDepth {
+				vc = v
+				break
+			}
+		}
+		if vc < 0 {
+			return false
+		}
+		p := ni.classQ[c][0]
+		ni.classQ[c] = ni.classQ[c][1:]
+		p.enterNI = ni.net.now
+		st = &sendState{pkt: p, vc: vc}
+		ni.sending[c] = st
+	}
+	b := &r.in[portLocal][st.vc]
+	if len(b.q) >= ni.net.cfg.BufDepth {
+		return false
+	}
+	f := &flit{
+		pkt:    st.pkt,
+		idx:    st.next,
+		isHead: st.next == 0,
+		isTail: st.next == st.pkt.nflits-1,
+	}
+	r.acceptFlit(portLocal, st.vc, f)
+	st.next++
+	if st.next == st.pkt.nflits {
+		ni.sending[c] = nil
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+package enoc
+
+import (
+	"onocsim/internal/noc"
+	"onocsim/internal/sim"
+)
+
+// vcBuf is one virtual-channel input buffer.
+type vcBuf struct {
+	q []*flit
+	// owner is the packet currently allocated to this VC; a VC is busy
+	// from head-flit allocation until its tail flit departs.
+	owner *packet
+	// outPort/outVC are the route decision for the owner packet; they are
+	// computed once per packet at this router.
+	outPort int
+	outVC   int
+	routed  bool
+	granted bool
+}
+
+// link models a point-to-point channel with a fixed traversal delay. Flits
+// pushed at cycle t surface at the downstream input buffer at t+delay.
+// wrap marks torus wraparound links — the datelines of the VC discipline.
+type link struct {
+	delay    sim.Tick
+	dst      *router
+	dstPort  int
+	wrap     bool
+	inflight []linkFlit
+}
+
+type linkFlit struct {
+	at sim.Tick
+	f  *flit
+}
+
+// router is one mesh node: five ports (N/S/E/W/local), VCs per port,
+// combined VC+switch allocation, one flit per output port per cycle.
+type router struct {
+	id, x, y int
+	net      *Network
+
+	in [numPorts][]vcBuf
+	// out[p] describes the downstream of output port p: the link (nil for
+	// unconnected edges and for the local ejection port), the mirrored
+	// credit count per downstream VC, and the mirrored busy state used by
+	// VC allocation.
+	outLink   [numPorts]*link
+	outCredit [numPorts][]int
+	outBusy   [numPorts][]bool
+
+	// upstream[p] identifies the router and output port feeding input
+	// port p, so credits and VC releases can flow back. The local port
+	// has no upstream; the network interface reads buffer state directly.
+	upstream [numPorts]*upstreamRef
+
+	// rr are round-robin arbitration pointers, one per output port, over
+	// the flattened (inputPort, vc) space.
+	rr [numPorts]int
+
+	// occupancy counts buffered flits across all input VCs; allocate is
+	// skipped entirely for empty routers, the dominant case at kernel
+	// loads (see BenchmarkTickElectrical).
+	occupancy int
+	// linkLoad counts flits in flight on this router's outgoing links so
+	// drainLinks can skip quiet routers.
+	linkLoad int
+}
+
+// upstreamRef points back at the fabric element feeding an input port.
+type upstreamRef struct {
+	r    *router
+	port int
+}
+
+func newRouter(id, x, y int, net *Network) *router {
+	r := &router{id: id, x: x, y: y, net: net}
+	vcs := net.cfg.VCs
+	for p := 0; p < numPorts; p++ {
+		r.in[p] = make([]vcBuf, vcs)
+		r.outCredit[p] = make([]int, vcs)
+		r.outBusy[p] = make([]bool, vcs)
+		for v := 0; v < vcs; v++ {
+			r.outCredit[p][v] = net.cfg.BufDepth
+		}
+	}
+	return r
+}
+
+// vcRange returns the half-open VC range a message class may use. When
+// fewer VCs than classes exist every class shares the full range (acceptable
+// for synthetic traffic; the coherent system configures VCs ≥ classes).
+func (r *router) vcRange(c noc.Class) (lo, hi int) {
+	vcs := r.net.cfg.VCs
+	if vcs < int(noc.NumClasses) {
+		return 0, vcs
+	}
+	lo = int(c) * vcs / int(noc.NumClasses)
+	hi = (int(c) + 1) * vcs / int(noc.NumClasses)
+	return lo, hi
+}
+
+// acceptFlit appends a flit arriving on (port, vc) to the input buffer. The
+// caller is responsible for having respected credits; overflow is a flow
+// control protocol violation and panics.
+func (r *router) acceptFlit(port, vc int, f *flit) {
+	b := &r.in[port][vc]
+	if len(b.q) >= r.net.cfg.BufDepth {
+		panic("enoc: input buffer overflow — credit protocol violated")
+	}
+	f.readyAt = r.net.now + sim.Tick(r.net.cfg.RouterStages)
+	f.inPort = port
+	f.vcAtRouter = vc
+	if f.isHead {
+		if b.owner != nil {
+			panic("enoc: head flit arrived on busy VC — allocation protocol violated")
+		}
+		b.owner = f.pkt
+		b.routed = false
+		b.granted = false
+	}
+	b.q = append(b.q, f)
+	r.occupancy++
+	r.net.power.bufferWrites++
+}
+
+// drainLinks surfaces link flits whose delay expired.
+func (r *router) drainLinks() {
+	if r.linkLoad == 0 {
+		return
+	}
+	for p := 0; p < numPorts; p++ {
+		l := r.outLink[p]
+		if l == nil || len(l.inflight) == 0 {
+			continue
+		}
+		keep := l.inflight[:0]
+		for _, lf := range l.inflight {
+			if lf.at <= r.net.now {
+				l.dst.acceptFlit(l.dstPort, lf.f.vcOnWire, lf.f)
+				r.linkLoad--
+			} else {
+				keep = append(keep, lf)
+			}
+		}
+		l.inflight = keep
+	}
+}
+
+// allocate performs combined route computation, VC allocation and switch
+// allocation for all output ports of this router in one cycle, moving at
+// most one flit per output port.
+func (r *router) allocate() {
+	if r.occupancy == 0 {
+		return
+	}
+	vcs := r.net.cfg.VCs
+	slots := numPorts * vcs
+	for outPort := 0; outPort < numPorts; outPort++ {
+		start := r.rr[outPort]
+		for k := 0; k < slots; k++ {
+			s := (start + k) % slots
+			inPort := s / vcs
+			vc := s % vcs
+			if inPort == outPort {
+				continue // U-turns never occur under minimal routing
+			}
+			b := &r.in[inPort][vc]
+			if len(b.q) == 0 {
+				continue
+			}
+			f := b.q[0]
+			if f.readyAt > r.net.now {
+				continue
+			}
+			if f.isHead && !b.routed {
+				b.outPort = r.route(f.pkt)
+				b.routed = true
+				r.net.power.routeComps++
+			}
+			if b.outPort != outPort {
+				continue
+			}
+			if f.isHead && !b.granted {
+				if !r.grantVC(b, f.pkt) {
+					continue // no free downstream VC this cycle
+				}
+			}
+			if !r.forward(b, f) {
+				continue // no credit this cycle
+			}
+			r.rr[outPort] = (s + 1) % slots
+			break // one flit per output port per cycle
+		}
+	}
+}
+
+// grantVC tries to allocate a downstream VC for the packet heading out of
+// b.outPort. It reports success and records the grant in b.outVC. The local
+// ejection port has no downstream buffers and therefore needs no VC.
+func (r *router) grantVC(b *vcBuf, p *packet) bool {
+	if b.outPort == portLocal {
+		b.outVC = 0
+		b.granted = true
+		return true
+	}
+	lo, hi := r.vcRange(p.msg.Class)
+	if r.net.torus {
+		// Dateline discipline: exactly one VC before the wrap crossing,
+		// the other after. This breaks the ring cycle each unidirectional
+		// torus dimension would otherwise form.
+		v := lo
+		if p.crossedWrap {
+			v = lo + 1
+		}
+		if v >= hi || r.outBusy[b.outPort][v] {
+			return false
+		}
+		r.outBusy[b.outPort][v] = true
+		b.outVC = v
+		b.granted = true
+		r.net.power.vcAllocs++
+		return true
+	}
+	for v := lo; v < hi; v++ {
+		if !r.outBusy[b.outPort][v] {
+			r.outBusy[b.outPort][v] = true
+			b.outVC = v
+			b.granted = true
+			r.net.power.vcAllocs++
+			return true
+		}
+	}
+	return false
+}
+
+// forward moves the head-of-queue flit of b through the crossbar to
+// b.outPort, consuming one credit. It reports whether the flit moved.
+func (r *router) forward(b *vcBuf, f *flit) bool {
+	out := b.outPort
+	if out == portLocal {
+		// Ejection: the local port has unbounded sink bandwidth per VC
+		// (standard simplification; endpoint contention is modelled in
+		// the protocol layer above).
+		r.popFlit(b, f)
+		r.net.eject(r.id, f)
+		return true
+	}
+	if r.outCredit[out][b.outVC] <= 0 {
+		return false
+	}
+	r.outCredit[out][b.outVC]--
+	f.vcOnWire = b.outVC
+	l := r.outLink[out]
+	if l.wrap && f.isHead {
+		f.pkt.crossedWrap = true
+	}
+	l.inflight = append(l.inflight, linkFlit{at: r.net.now + l.delay, f: f})
+	r.linkLoad++
+	r.popFlit(b, f)
+	r.net.power.xbarTraversals++
+	r.net.power.linkTraversals++
+	if f.isHead {
+		f.pkt.hops++
+	}
+	return true
+}
+
+// popFlit removes the forwarded flit from its buffer, returning the credit
+// upstream and releasing the VC on tail departure.
+func (r *router) popFlit(b *vcBuf, f *flit) {
+	b.q = b.q[1:]
+	r.occupancy--
+	r.net.power.bufferReads++
+	// Return one credit and, on tail, the VC itself to the upstream
+	// mirror of this input buffer.
+	if up := r.upstream[f.inPort]; up != nil {
+		up.r.outCredit[up.port][f.vcAtRouter]++
+		if f.isTail {
+			up.r.outBusy[up.port][f.vcAtRouter] = false
+		}
+	}
+	if f.isTail {
+		b.owner = nil
+		b.routed = false
+		b.granted = false
+	}
+}

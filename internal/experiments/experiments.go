@@ -1,0 +1,524 @@
+// Package experiments regenerates every table and figure of the
+// reconstructed evaluation (R1–R8, see DESIGN.md §3). Each experiment is a
+// function returning a metrics.Table; cmd/expreport renders them to the
+// terminal or CSV, and the root bench_test.go wraps each in a testing.B
+// benchmark so `go test -bench` reproduces the whole evaluation.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"onocsim"
+	"onocsim/internal/config"
+	"onocsim/internal/metrics"
+	"onocsim/internal/workload"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Cores is the chip size for the kernel experiments (perfect square,
+	// power of two for fft); 0 means 64.
+	Cores int
+	// Quick shrinks sweeps for use inside benchmarks and CI.
+	Quick bool
+}
+
+func (o Options) cores() int {
+	if o.Cores > 0 {
+		return o.Cores
+	}
+	return 64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 42
+}
+
+// kernelConfig builds the standard experiment config for one kernel.
+func kernelConfig(o Options, kernel string) onocsim.Config {
+	cfg := onocsim.DefaultConfig()
+	cfg.Seed = o.seed()
+	cfg.System.Cores = o.cores()
+	cfg.Workload.Kind = config.WorkloadKernel
+	cfg.Workload.Kernel = kernel
+	if o.Quick {
+		cfg.Workload.Scale = 4
+		cfg.Workload.Iterations = 2
+	}
+	cfg.Name = fmt.Sprintf("%s-%dc", kernel, cfg.System.Cores)
+	return cfg
+}
+
+// pct renders a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// ms renders a duration in milliseconds.
+func ms(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000) }
+
+// studySet runs the full methodology study for each kernel once and caches
+// the results so that R1, R2 and R3 share work.
+type studySet struct {
+	kernels []string
+	studies map[string]*onocsim.Study
+}
+
+func newStudySet(o Options) (*studySet, error) {
+	s := &studySet{kernels: workload.KernelNames(), studies: map[string]*onocsim.Study{}}
+	// Studies are independent simulations with per-study state, so they
+	// parallelize trivially; each remains internally deterministic. The
+	// fan-out is bounded by the CPU count so that the per-study wall
+	// times R2 reports are not inflated by oversubscription (on a single
+	// CPU this degenerates to sequential execution, which is exactly what
+	// honest timing needs there).
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.NumCPU())
+	for _, k := range s.kernels {
+		k := k
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			st, err := onocsim.RunStudy(kernelConfig(o, k), onocsim.Optical)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("experiments: study %s: %w", k, err)
+				return
+			}
+			s.studies[k] = st
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return s, nil
+}
+
+// R1Accuracy reconstructs the headline accuracy table: per-application total
+// execution time estimated by naive replay, coupled replay, and the
+// Self-Correction Trace Model, each against execution-driven ground truth on
+// the optical fabric.
+func R1Accuracy(o Options) (*metrics.Table, error) {
+	set, err := newStudySet(o)
+	if err != nil {
+		return nil, err
+	}
+	return r1FromSet(set)
+}
+
+func r1FromSet(set *studySet) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R1 — Accuracy of trace methodologies vs execution-driven ONOC simulation",
+		"kernel", "truth makespan", "naive est", "naive err", "sctm est", "sctm err",
+		"coupled est", "coupled err", "trace events")
+	var naiveErrs, sctmErrs []float64
+	for _, k := range set.kernels {
+		st := set.studies[k]
+		t.AddRow(k,
+			fmt.Sprintf("%d", st.Truth.Makespan),
+			fmt.Sprintf("%d", st.Naive.Makespan), pct(st.NaiveAcc.MakespanErr),
+			fmt.Sprintf("%d", st.SCTM.Final.Makespan), pct(st.SCTMAcc.MakespanErr),
+			fmt.Sprintf("%d", st.Coupled.Makespan), pct(st.CoupAcc.MakespanErr),
+			fmt.Sprintf("%d", st.Trace.NumEvents()),
+		)
+		naiveErrs = append(naiveErrs, st.NaiveAcc.MakespanErr)
+		sctmErrs = append(sctmErrs, st.SCTMAcc.MakespanErr)
+	}
+	t.Note("mean abs makespan error: naive %s, sctm %s (lower is better; paper claims 'high precision')",
+		pct(mean(naiveErrs)), pct(mean(sctmErrs)))
+	return t, nil
+}
+
+// R2SimTime reconstructs the simulation-cost table: host wall-clock of each
+// methodology, and the speedup of SCTM over execution-driven simulation.
+func R2SimTime(o Options) (*metrics.Table, error) {
+	set, err := newStudySet(o)
+	if err != nil {
+		return nil, err
+	}
+	return r2FromSet(set)
+}
+
+func r2FromSet(set *studySet) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R2 — Simulation cost (host milliseconds)",
+		"kernel", "exec-driven", "capture(ref)", "naive", "sctm", "sctm rounds",
+		"sctm vs exec", "sctm vs naive")
+	for _, k := range set.kernels {
+		st := set.studies[k]
+		execW := st.Truth.WallTime
+		sctmW := st.SCTMWall
+		t.AddRow(k,
+			ms(execW), ms(st.CaptureWall), ms(st.NaiveWall), ms(sctmW),
+			fmt.Sprintf("%d", len(st.SCTM.Iterations)),
+			fmt.Sprintf("%.2fx", ratio(execW, sctmW)),
+			fmt.Sprintf("%.1fx", ratio(sctmW, st.NaiveWall)),
+		)
+	}
+	t.Note("the paper claims the method does 'not substantially extend the total simulation time' vs trace-driven")
+	return t, nil
+}
+
+// R1R2 runs the shared study set once and returns both tables.
+func R1R2(o Options) (*metrics.Table, *metrics.Table, error) {
+	set, err := newStudySet(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	t1, err := r1FromSet(set)
+	if err != nil {
+		return nil, nil, err
+	}
+	t2, err := r2FromSet(set)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t1, t2, nil
+}
+
+// R3Convergence reconstructs the convergence figure: per-round schedule
+// delta and makespan error of the self-correction loop.
+func R3Convergence(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R3 — Self-correction convergence (one series per kernel)",
+		"kernel", "round", "schedule delta", "makespan est", "err vs truth")
+	for _, k := range workload.KernelNames() {
+		cfg := kernelConfig(o, k)
+		tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := onocsim.RunSelfCorrection(cfg, tr, onocsim.Optical)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range res.Iterations {
+			t.AddRow(k,
+				fmt.Sprintf("%d", it.Round),
+				fmt.Sprintf("%d", it.Delta),
+				fmt.Sprintf("%d", it.Makespan),
+				pct(metrics.RelErr(float64(it.Makespan), float64(truth.Makespan))),
+			)
+		}
+	}
+	return t, nil
+}
+
+// R4LoadLatency reconstructs the load–latency case-study figure: synthetic
+// traffic sweeps on both fabrics.
+func R4LoadLatency(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R4 — Load vs latency, electrical mesh vs optical crossbar",
+		"pattern", "offered (flits/node/cyc)", "fabric", "mean lat", "p99 lat", "throughput", "saturated")
+	patterns := []string{"uniform", "transpose", "hotspot"}
+	rates := []float64{0.02, 0.05, 0.10, 0.20, 0.35, 0.50}
+	packets := 300
+	if o.Quick {
+		patterns = []string{"uniform"}
+		rates = []float64{0.05, 0.20}
+		packets = 100
+	}
+	for _, pat := range patterns {
+		for _, rate := range rates {
+			for _, kind := range []onocsim.NetworkKind{onocsim.Electrical, onocsim.Optical} {
+				cfg := onocsim.DefaultConfig()
+				cfg.Seed = o.seed()
+				cfg.System.Cores = o.cores()
+				cfg.Workload = config.Workload{
+					Kind:          config.WorkloadSynthetic,
+					Pattern:       pat,
+					InjectionRate: rate,
+					PacketBytes:   64,
+					Packets:       packets,
+					Kernel:        "stencil",
+					Scale:         1,
+					Iterations:    1,
+					ComputeScale:  1,
+				}
+				net, err := onocsim.BuildNetwork(cfg, kind)
+				if err != nil {
+					return nil, err
+				}
+				res, err := workload.RunSynthetic(net, cfg.Workload, cfg.Mesh.FlitBytes, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(pat,
+					fmt.Sprintf("%.2f", rate),
+					string(kind),
+					fmt.Sprintf("%.1f", res.MeanLatency),
+					fmt.Sprintf("%.0f", res.P99Latency),
+					fmt.Sprintf("%.3f", res.Throughput),
+					fmt.Sprintf("%v", res.Saturated),
+				)
+			}
+		}
+	}
+	return t, nil
+}
+
+// R5CaseStudy reconstructs the application case study: kernel completion
+// time execution-driven on the baseline electrical NoC vs the ONOC.
+func R5CaseStudy(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R5 — Case study: application completion time, electrical vs optical",
+		"kernel", "electrical makespan", "optical makespan", "optical speedup",
+		"elec mean lat", "opt mean lat")
+	var speedups []float64
+	for _, k := range workload.KernelNames() {
+		cfg := kernelConfig(o, k)
+		e, err := onocsim.RunExecutionDriven(cfg, onocsim.Electrical)
+		if err != nil {
+			return nil, err
+		}
+		op, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		if err != nil {
+			return nil, err
+		}
+		sp := float64(e.Makespan) / float64(op.Makespan)
+		speedups = append(speedups, sp)
+		t.AddRow(k,
+			fmt.Sprintf("%d", e.Makespan),
+			fmt.Sprintf("%d", op.Makespan),
+			fmt.Sprintf("%.2fx", sp),
+			fmt.Sprintf("%.1f", e.MeanLatency),
+			fmt.Sprintf("%.1f", op.MeanLatency),
+		)
+	}
+	t.Note("geometric-mean optical speedup: %.2fx", metrics.GeoMean(speedups))
+	return t, nil
+}
+
+// R6Power reconstructs the power-breakdown table over the kernel workloads.
+func R6Power(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R6 — Network power (mW) over kernel workloads",
+		"kernel", "fabric", "static", "dynamic", "total", "dominant components")
+	for _, k := range workload.KernelNames() {
+		cfg := kernelConfig(o, k)
+		for _, kind := range []onocsim.NetworkKind{onocsim.Electrical, onocsim.Optical} {
+			res, err := onocsim.RunExecutionDriven(cfg, kind)
+			if err != nil {
+				return nil, err
+			}
+			p := res.Power
+			t.AddRow(k, string(kind),
+				fmt.Sprintf("%.1f", p.StaticMW),
+				fmt.Sprintf("%.2f", p.DynamicMW),
+				fmt.Sprintf("%.1f", p.TotalMW()),
+				topComponents(p.Breakdown, 2),
+			)
+		}
+	}
+	t.Note("optical static power is laser + ring tuning and dominates at low utilization — the canonical ONOC trade-off")
+	return t, nil
+}
+
+// R7Scaling reconstructs the methodology-scalability figure: SCTM error and
+// cost versus core count.
+func R7Scaling(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R7 — SCTM scalability with core count (stencil kernel)",
+		"cores", "truth makespan", "sctm err", "naive err", "exec ms", "sctm ms", "trace events")
+	sizes := []int{16, 64, 144, 256}
+	if o.Quick {
+		sizes = []int{16, 64}
+	}
+	for _, n := range sizes {
+		opts := o
+		opts.Cores = n
+		cfg := kernelConfig(opts, "stencil")
+		st, err := onocsim.RunStudy(cfg, onocsim.Optical)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", st.Truth.Makespan),
+			pct(st.SCTMAcc.MakespanErr),
+			pct(st.NaiveAcc.MakespanErr),
+			ms(st.Truth.WallTime),
+			ms(st.SCTMWall),
+			fmt.Sprintf("%d", st.Trace.NumEvents()),
+		)
+	}
+	return t, nil
+}
+
+// R8Ablation reconstructs the dependency-class ablation: the error of the
+// self-correction model with synchronization or causal edges disabled.
+func R8Ablation(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R8 — Why dependencies matter: SCTM error with dependency classes ablated",
+		"kernel", "full model", "no sync deps", "no causal deps")
+	for _, k := range workload.KernelNames() {
+		cfg := kernelConfig(o, k)
+		tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		if err != nil {
+			return nil, err
+		}
+		errFor := func(noSync, noCausal bool) (float64, error) {
+			c := cfg
+			c.SCTM.DisableSyncDeps = noSync
+			c.SCTM.DisableCausalDeps = noCausal
+			res, _, err := onocsim.RunSelfCorrection(c, tr, onocsim.Optical)
+			if err != nil {
+				return 0, err
+			}
+			return metrics.RelErr(float64(res.Final.Makespan), float64(truth.Makespan)), nil
+		}
+		full, err := errFor(false, false)
+		if err != nil {
+			return nil, err
+		}
+		noSync, err := errFor(true, false)
+		if err != nil {
+			return nil, err
+		}
+		noCausal, err := errFor(false, true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k, pct(full), pct(noSync), pct(noCausal))
+	}
+	return t, nil
+}
+
+// All runs every experiment in order and returns the tables.
+func All(o Options) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	t1, t2, err := R1R2(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t1, t2)
+	for _, fn := range []func(Options) (*metrics.Table, error){
+		R3Convergence, R4LoadLatency, R5CaseStudy, R6Power, R7Scaling, R8Ablation,
+		R9Architectures, R10CaptureFabric, R11Damping, R12Hybrid, R13Photonics, R14WhatIf, R15League, R16Seeds, R17Memory,
+	} {
+		t, err := fn(o)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Names lists experiment identifiers accepted by cmd/expreport. R1–R8
+// reconstruct the paper's evaluation; R9–R11 are extensions.
+func Names() []string {
+	return []string{"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15", "r16", "r17"}
+}
+
+// ByName runs one experiment by its identifier.
+func ByName(name string, o Options) (*metrics.Table, error) {
+	switch name {
+	case "r1":
+		return R1Accuracy(o)
+	case "r2":
+		return R2SimTime(o)
+	case "r3":
+		return R3Convergence(o)
+	case "r4":
+		return R4LoadLatency(o)
+	case "r5":
+		return R5CaseStudy(o)
+	case "r6":
+		return R6Power(o)
+	case "r7":
+		return R7Scaling(o)
+	case "r8":
+		return R8Ablation(o)
+	case "r9":
+		return R9Architectures(o)
+	case "r10":
+		return R10CaptureFabric(o)
+	case "r11":
+		return R11Damping(o)
+	case "r12":
+		return R12Hybrid(o)
+	case "r13":
+		return R13Photonics(o)
+	case "r14":
+		return R14WhatIf(o)
+	case "r15":
+		return R15League(o)
+	case "r16":
+		return R16Seeds(o)
+	case "r17":
+		return R17Memory(o)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// topComponents names the n largest breakdown entries.
+func topComponents(m map[string]float64, n int) string {
+	type kv struct {
+		k string
+		v float64
+	}
+	var list []kv
+	for k, v := range m {
+		list = append(list, kv{k, v})
+	}
+	for i := 0; i < len(list); i++ {
+		for j := i + 1; j < len(list); j++ {
+			if list[j].v > list[i].v || (list[j].v == list[i].v && list[j].k < list[i].k) {
+				list[i], list[j] = list[j], list[i]
+			}
+		}
+	}
+	if n > len(list) {
+		n = len(list)
+	}
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s=%.1f", list[i].k, list[i].v)
+	}
+	return out
+}

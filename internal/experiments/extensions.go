@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"onocsim"
+	"onocsim/internal/metrics"
+	"onocsim/internal/workload"
+)
+
+// The experiments in this file go beyond the reconstructed paper evaluation:
+// they exercise the design-space and robustness questions the paper's
+// methodology enables but (as far as the abstract shows) did not report.
+// DESIGN.md lists them as extensions.
+
+// R9Architectures compares the two optical crossbar organizations — the
+// token-arbitrated MWSR (Corona-class) and the broadcast SWMR
+// (Firefly-class) — on application completion time and power, the classic
+// arbitration-latency-versus-static-power trade-off.
+func R9Architectures(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R9 (extension) — MWSR vs SWMR optical crossbar",
+		"kernel", "mwsr makespan", "swmr makespan", "swmr speedup",
+		"mwsr power (mW)", "swmr power (mW)")
+	for _, k := range workload.KernelNames() {
+		cfg := kernelConfig(o, k)
+		cfg.Optical.Architecture = "mwsr"
+		mwsr, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Optical.Architecture = "swmr"
+		swmr, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k,
+			fmt.Sprintf("%d", mwsr.Makespan),
+			fmt.Sprintf("%d", swmr.Makespan),
+			fmt.Sprintf("%.2fx", float64(mwsr.Makespan)/float64(swmr.Makespan)),
+			fmt.Sprintf("%.0f", mwsr.Power.TotalMW()),
+			fmt.Sprintf("%.0f", swmr.Power.TotalMW()),
+		)
+	}
+	t.Note("SWMR removes token-arbitration latency but pays a quadratic receiver-ring tuning budget")
+	return t, nil
+}
+
+// R10CaptureFabric measures how sensitive the Self-Correction Trace Model is
+// to the fabric the trace was captured on: the method's promise is that a
+// cheap reference capture suffices.
+func R10CaptureFabric(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R10 (extension) — SCTM accuracy vs capture fabric (target: optical)",
+		"kernel", "capture=ideal", "capture=electrical", "capture=optical", "naive (ideal capture)")
+	kernels := workload.KernelNames()
+	if o.Quick {
+		kernels = kernels[:2]
+	}
+	for _, k := range kernels {
+		cfg := kernelConfig(o, k)
+		truth, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{k}
+		var naiveIdeal float64
+		for i, capOn := range []onocsim.NetworkKind{onocsim.IdealNet, onocsim.Electrical, onocsim.Optical} {
+			tr, _, err := onocsim.CaptureTrace(cfg, capOn)
+			if err != nil {
+				return nil, err
+			}
+			res, _, err := onocsim.RunSelfCorrection(cfg, tr, onocsim.Optical)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(metrics.RelErr(float64(res.Final.Makespan), float64(truth.Makespan))))
+			if i == 0 {
+				nv, _, err := onocsim.RunNaiveReplay(cfg, tr, onocsim.Optical)
+				if err != nil {
+					return nil, err
+				}
+				naiveIdeal = metrics.RelErr(float64(nv.Makespan), float64(truth.Makespan))
+			}
+		}
+		row = append(row, pct(naiveIdeal))
+		t.AddRow(row...)
+	}
+	t.Note("capture=optical is self-capture: the dependency replay should then be nearly exact")
+	return t, nil
+}
+
+// R12Hybrid evaluates the path-adaptive opto-electronic fabric (the
+// direction the paper's authors took next, ISPA 2013): kernel completion
+// time versus the distance threshold that splits traffic between the
+// electrical mesh and the optical crossbar.
+func R12Hybrid(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R12 (extension) — path-adaptive hybrid NoC: makespan vs optical-distance threshold",
+		"kernel", "mesh only", "optical only", "hybrid t=2", "hybrid t=4", "hybrid t=6", "best")
+	kernels := workload.KernelNames()
+	if o.Quick {
+		kernels = kernels[:2]
+	}
+	for _, k := range kernels {
+		cfg := kernelConfig(o, k)
+		mesh, err := onocsim.RunExecutionDriven(cfg, onocsim.Electrical)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		if err != nil {
+			return nil, err
+		}
+		best := "mesh"
+		bestMk := mesh.Makespan
+		if opt.Makespan < bestMk {
+			best, bestMk = "optical", opt.Makespan
+		}
+		row := []string{k, fmt.Sprintf("%d", mesh.Makespan), fmt.Sprintf("%d", opt.Makespan)}
+		for _, th := range []int{2, 4, 6} {
+			c := cfg
+			c.Hybrid.Threshold = th
+			h, err := onocsim.RunExecutionDriven(c, onocsim.Hybrid)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", h.Makespan))
+			if h.Makespan < bestMk {
+				best, bestMk = fmt.Sprintf("hybrid t=%d", th), h.Makespan
+			}
+		}
+		row = append(row, best)
+		t.AddRow(row...)
+	}
+	t.Note("hybrid routes hops < threshold over the mesh and the rest over the crossbar")
+	return t, nil
+}
+
+// R11Damping sweeps the correction loop's damping factor: rounds to
+// convergence and final error. It ablates the loop-stability design choice
+// DESIGN.md calls out.
+func R11Damping(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R11 (extension) — correction-loop damping sweep (stencil kernel)",
+		"damping", "rounds", "converged", "makespan est", "err vs truth")
+	cfg := kernelConfig(o, "stencil")
+	tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+	if err != nil {
+		return nil, err
+	}
+	dampings := []float64{0, 0.25, 0.5, 0.75}
+	for _, d := range dampings {
+		c := cfg
+		c.SCTM.Damping = d
+		c.SCTM.MaxIterations = 15
+		res, _, err := onocsim.RunSelfCorrection(c, tr, onocsim.Optical)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", d),
+			fmt.Sprintf("%d", len(res.Iterations)),
+			fmt.Sprintf("%v", res.Converged),
+			fmt.Sprintf("%d", res.Final.Makespan),
+			pct(metrics.RelErr(float64(res.Final.Makespan), float64(truth.Makespan))),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,153 @@
+// Package hybrid implements a path-adaptive opto-electronic NoC: an
+// electrical mesh and an optical crossbar side by side, with a per-message
+// routing policy that sends short-distance traffic over the mesh (which R4
+// shows wins at low hop counts) and long-distance traffic over the crossbar
+// (whose latency is distance-insensitive). This is the design direction the
+// paper's authors themselves took next ("A Path-Adaptive Opto-electronic
+// Hybrid NoC for Chip Multi-processor", ISPA 2013), and it drops out of this
+// codebase for free because every fabric implements the same contract.
+package hybrid
+
+import (
+	"fmt"
+
+	"onocsim/internal/config"
+	"onocsim/internal/enoc"
+	"onocsim/internal/noc"
+	"onocsim/internal/onoc"
+	"onocsim/internal/sim"
+)
+
+// Network routes each message to one of two sub-fabrics by Manhattan
+// distance. It implements noc.Network.
+type Network struct {
+	mesh    *enoc.Network
+	optical noc.Network
+	width   int
+	nodes   int
+
+	// threshold is the minimum hop distance that goes optical.
+	threshold int
+
+	deliver noc.DeliverFunc
+	stats   *noc.Stats
+
+	// Sub-fabric routing counters.
+	ViaMesh, ViaOptical uint64
+}
+
+// New builds a hybrid fabric: messages with Manhattan distance ≥ threshold
+// ride the optical crossbar, the rest the electrical mesh. threshold ≤ 1
+// sends everything optical; a threshold above the mesh diameter sends
+// everything electrical.
+func New(nodes int, mesh config.Mesh, optical config.Optical, threshold int) *Network {
+	width := 1
+	for width*width < nodes {
+		width++
+	}
+	if width*width != nodes {
+		panic(fmt.Sprintf("hybrid: %d nodes is not a perfect square", nodes))
+	}
+	n := &Network{
+		mesh:      enoc.New(nodes, mesh),
+		width:     width,
+		nodes:     nodes,
+		threshold: threshold,
+		stats:     noc.NewStats(),
+	}
+	if optical.Architecture == "swmr" {
+		n.optical = onoc.NewSWMR(nodes, optical)
+	} else {
+		n.optical = onoc.New(nodes, optical)
+	}
+	relay := func(m *noc.Message) {
+		n.stats.RecordDelivery(m)
+		if n.deliver != nil {
+			n.deliver(m)
+		}
+	}
+	n.mesh.SetDeliver(relay)
+	n.optical.SetDeliver(relay)
+	return n
+}
+
+// Nodes implements noc.Network.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Now implements noc.Network.
+func (n *Network) Now() sim.Tick { return n.mesh.Now() }
+
+// Stats implements noc.Network; it aggregates both sub-fabrics'
+// deliveries (sub-fabric stats remain accessible via Mesh/Optical).
+func (n *Network) Stats() *noc.Stats { return n.stats }
+
+// Mesh exposes the electrical sub-fabric (for power and diagnostics).
+func (n *Network) Mesh() *enoc.Network { return n.mesh }
+
+// Optical exposes the photonic sub-fabric.
+func (n *Network) Optical() noc.Network { return n.optical }
+
+// SetDeliver implements noc.Network.
+func (n *Network) SetDeliver(fn noc.DeliverFunc) { n.deliver = fn }
+
+// distance is the Manhattan hop count between two nodes.
+func (n *Network) distance(src, dst int) int {
+	sx, sy := src%n.width, src/n.width
+	dx, dy := dst%n.width, dst/n.width
+	return abs(dx-sx) + abs(dy-sy)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Inject implements noc.Network: the path-adaptive routing decision.
+func (n *Network) Inject(m *noc.Message) {
+	n.stats.Injected++
+	if m.Src != m.Dst && n.distance(m.Src, m.Dst) >= n.threshold {
+		n.ViaOptical++
+		n.optical.Inject(m)
+		return
+	}
+	n.ViaMesh++
+	n.mesh.Inject(m)
+}
+
+// Tick implements noc.Network, advancing both sub-fabrics in lockstep.
+func (n *Network) Tick() {
+	n.mesh.Tick()
+	n.optical.Tick()
+}
+
+// Busy implements noc.Network.
+func (n *Network) Busy() bool { return n.mesh.Busy() || n.optical.Busy() }
+
+// ZeroLoadLatency implements noc.Network, following the routing decision.
+func (n *Network) ZeroLoadLatency(src, dst, bytes int) sim.Tick {
+	if src != dst && n.distance(src, dst) >= n.threshold {
+		return n.optical.ZeroLoadLatency(src, dst, bytes)
+	}
+	return n.mesh.ZeroLoadLatency(src, dst, bytes)
+}
+
+// PowerReport implements noc.Network: the sum of both sub-fabrics, with the
+// breakdowns merged under prefixed keys.
+func (n *Network) PowerReport(elapsed sim.Tick, clockGHz float64) noc.PowerReport {
+	e := n.mesh.PowerReport(elapsed, clockGHz)
+	o := n.optical.PowerReport(elapsed, clockGHz)
+	breakdown := make(map[string]float64, len(e.Breakdown)+len(o.Breakdown))
+	for k, v := range e.Breakdown {
+		breakdown["mesh_"+k] = v
+	}
+	for k, v := range o.Breakdown {
+		breakdown["optical_"+k] = v
+	}
+	return noc.PowerReport{
+		StaticMW:  e.StaticMW + o.StaticMW,
+		DynamicMW: e.DynamicMW + o.DynamicMW,
+		Breakdown: breakdown,
+	}
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-boundary histogram over float64 observations with an
+// exact streaming Summary alongside the bucketed counts. Buckets are
+// half-open intervals [bound[i-1], bound[i]); observations below the first
+// bound land in bucket 0 and observations at or above the last bound land in
+// the overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    Summary
+}
+
+// NewHistogram builds a histogram with the given ascending bucket
+// boundaries. It panics on empty or non-ascending boundaries: a histogram
+// that silently merges buckets would corrupt every latency distribution
+// derived from it.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d", i))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}
+}
+
+// NewLatencyHistogram returns a histogram with exponentially spaced bounds
+// suited to network latencies in cycles: 1, 2, 4, ..., 2^maxExp.
+func NewLatencyHistogram(maxExp int) *Histogram {
+	if maxExp < 1 {
+		maxExp = 1
+	}
+	bounds := make([]float64, maxExp+1)
+	for i := 0; i <= maxExp; i++ {
+		bounds[i] = math.Pow(2, float64(i))
+	}
+	return NewHistogram(bounds)
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.sum.Add(x)
+	// Binary search for the first bound > x.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x < h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo]++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.sum.Count() }
+
+// Mean returns the exact (not bucketed) mean of the observations.
+func (h *Histogram) Mean() float64 { return h.sum.Mean() }
+
+// Max returns the exact maximum observation.
+func (h *Histogram) Max() float64 { return h.sum.Max() }
+
+// Summary returns a copy of the exact streaming summary.
+func (h *Histogram) Summary() Summary { return h.sum }
+
+// Bucket returns the count of bucket i (0 ≤ i ≤ len(bounds)).
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including overflow.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// ApproxPercentile estimates the p-th percentile from bucket boundaries,
+// attributing each bucket's mass to its upper bound (conservative for
+// latency SLO-style reporting).
+func (h *Histogram) ApproxPercentile(p float64) float64 {
+	total := h.sum.Count()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := uint64(math.Ceil(p / 100 * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.sum.Max()
+		}
+	}
+	return h.sum.Max()
+}
+
+// Render draws a proportional ASCII bar chart of the distribution, width
+// characters wide, for experiment reports.
+func (h *Histogram) Render(width int) string {
+	if width < 8 {
+		width = 8
+	}
+	var maxCount uint64
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	prev := math.Inf(-1)
+	for i, c := range h.counts {
+		var label string
+		if i < len(h.bounds) {
+			label = fmt.Sprintf("[%8.4g,%8.4g)", prev, h.bounds[i])
+			prev = h.bounds[i]
+		} else {
+			label = fmt.Sprintf("[%8.4g,     inf)", prev)
+		}
+		bar := 0
+		if maxCount > 0 {
+			bar = int(float64(c) / float64(maxCount) * float64(width))
+		}
+		fmt.Fprintf(&b, "%s %10d %s\n", label, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Merge folds other into h. Both histograms must have identical bounds;
+// mismatched bounds panic because the merged distribution would be wrong.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.bounds) != len(other.bounds) {
+		panic("metrics: merging histograms with different bounds")
+	}
+	for i, bd := range h.bounds {
+		if bd != other.bounds[i] {
+			panic("metrics: merging histograms with different bounds")
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.sum.Merge(other.sum)
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for _, v := range []float64{5, 9.99, 10, 15, 25, 30, 100} {
+		h.Add(v)
+	}
+	// [-inf,10): 5, 9.99 → 2 ; [10,20): 10, 15 → 2 ; [20,30): 25 → 1 ;
+	// [30,inf): 30, 100 → 2.
+	want := []uint64{2, 2, 1, 2}
+	for i, w := range want {
+		if h.Bucket(i) != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Bucket(i), w)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.NumBuckets() != 4 {
+		t.Fatalf("NumBuckets = %d", h.NumBuckets())
+	}
+}
+
+func TestHistogramExactMean(t *testing.T) {
+	h := NewLatencyHistogram(10)
+	var sum float64
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+		sum += float64(i)
+	}
+	if got := h.Mean(); got != sum/100 {
+		t.Fatalf("mean = %g, want exact %g", got, sum/100)
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %g", h.Max())
+	}
+}
+
+func TestHistogramPercentileConservative(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8, 16, 32})
+	for i := 0; i < 100; i++ {
+		h.Add(3) // all in [2,4)
+	}
+	if p := h.ApproxPercentile(50); p != 4 {
+		t.Fatalf("p50 = %g, want upper bound 4", p)
+	}
+	if p := h.ApproxPercentile(100); p != 4 {
+		t.Fatalf("p100 = %g, want 4", p)
+	}
+	h.Add(1000) // lands in overflow
+	if p := h.ApproxPercentile(100); p != 1000 {
+		t.Fatalf("overflow percentile = %g, want exact max 1000", p)
+	}
+	var empty = NewHistogram([]float64{1})
+	if empty.ApproxPercentile(99) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	h := NewLatencyHistogram(12)
+	if err := quick.Check(func(vals []uint16) bool {
+		for _, v := range vals {
+			h.Add(float64(v))
+		}
+		prev := 0.0
+		for p := 0.0; p <= 100; p += 10 {
+			v := h.ApproxPercentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramInvalidBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {5, 5}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{10, 20})
+	b := NewHistogram([]float64{10, 20})
+	a.Add(5)
+	b.Add(15)
+	b.Add(25)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Bucket(0) != 1 || a.Bucket(1) != 1 || a.Bucket(2) != 1 {
+		t.Fatal("merged buckets wrong")
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	a := NewHistogram([]float64{10})
+	b := NewHistogram([]float64{20})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched merge did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	for i := 0; i < 5; i++ {
+		h.Add(1)
+	}
+	h.Add(100)
+	out := h.Render(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("render produced %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Fatalf("populated bucket has no bar:\n%s", out)
+	}
+}

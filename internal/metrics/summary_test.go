@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %g, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !almostEq(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %g, want %g", s.Variance(), 32.0/7.0)
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("sum = %g", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 || s.CI95() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	if err := quick.Check(func(raw []int16) bool {
+		var all, left, right Summary
+		for i, r := range raw {
+			v := float64(r) / 16
+			all.Add(v)
+			if i%2 == 0 {
+				left.Add(v)
+			} else {
+				right.Add(v)
+			}
+		}
+		left.Merge(right)
+		if all.Count() != left.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		return almostEq(all.Mean(), left.Mean(), 1e-9) &&
+			almostEq(all.Variance(), left.Variance(), 1e-9) &&
+			all.Min() == left.Min() && all.Max() == left.Max()
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Add(3)
+	a.Merge(b) // merge empty into non-empty
+	if a.Count() != 1 || a.Mean() != 3 {
+		t.Fatal("merging empty changed summary")
+	}
+	b.Merge(a) // merge non-empty into empty
+	if b.Count() != 1 || b.Mean() != 3 {
+		t.Fatal("merging into empty lost data")
+	}
+}
+
+func TestSummaryAddN(t *testing.T) {
+	var a, b Summary
+	a.AddN(7, 5)
+	for i := 0; i < 5; i++ {
+		b.Add(7)
+	}
+	if a.Count() != b.Count() || a.Mean() != b.Mean() || a.Variance() != b.Variance() {
+		t.Fatal("AddN differs from repeated Add")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Summary
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 5))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 5))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: %g vs %g", large.CI95(), small.CI95())
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	cases := []struct {
+		m, r, want float64
+	}{
+		{110, 100, 0.1},
+		{90, 100, 0.1},
+		{100, 100, 0},
+		{0, 0, 0},
+		{-50, 100, 1.5},
+	}
+	for _, c := range cases {
+		if got := RelErr(c.m, c.r); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("RelErr(%g,%g) = %g, want %g", c.m, c.r, got, c.want)
+		}
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Error("RelErr(1,0) should be +Inf")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	data := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(data, 0); got != 15 {
+		t.Fatalf("p0 = %g", got)
+	}
+	if got := Percentile(data, 100); got != 50 {
+		t.Fatalf("p100 = %g", got)
+	}
+	if got := Percentile(data, 50); got != 35 {
+		t.Fatalf("p50 = %g", got)
+	}
+	// Interpolated: p25 over 5 values sits at rank 1 exactly.
+	if got := Percentile(data, 25); got != 20 {
+		t.Fatalf("p25 = %g", got)
+	}
+	// Out-of-range p clamps.
+	if Percentile(data, -5) != 15 || Percentile(data, 200) != 50 {
+		t.Fatal("percentile clamping failed")
+	}
+	// Input must not be reordered.
+	if data[0] != 15 || data[4] != 50 {
+		t.Fatal("Percentile mutated its input")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	if Percentile([]float64{42}, 99) != 42 {
+		t.Fatal("singleton percentile")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("GeoMean = %g, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean should be 0")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Fatal("GeoMean with negative input should be NaN")
+	}
+}

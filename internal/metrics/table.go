@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders experiment results as aligned ASCII (for terminals and the
+// EXPERIMENTS.md log) or as CSV (for plotting). Rows are strings; numeric
+// cells should be pre-formatted by the caller so that each experiment
+// controls its own precision.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Short rows are padded with empty cells; long rows
+// panic since they indicate a bug in the experiment harness.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("metrics: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v for strings and %s for fmt.Stringer, or the caller may pass
+// pre-formatted strings.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Note attaches a footnote rendered under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Cell returns the cell at (row, col); it panics on out-of-range indices.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// WriteASCII renders the table with aligned columns.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", min(total, 100))); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			if i != len(cells)-1 {
+				b.WriteString(" | ")
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (cells containing commas or
+// quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the ASCII form; it satisfies fmt.Stringer for logging.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.WriteASCII(&b)
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

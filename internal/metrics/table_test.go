@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableASCIIAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "2")
+	tb.Note("a footnote %d", 7)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + rule + header + separator + 2 rows + note = 7 lines
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "name") || !strings.Contains(lines[2], "|") {
+		t.Fatalf("bad header:\n%s", out)
+	}
+	if !strings.Contains(lines[6], "note: a footnote 7") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+	// Pipe positions align between header and rows.
+	if strings.Index(lines[2], "|") != strings.Index(lines[4], "|") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only-one")
+	if tb.NumRows() != 1 {
+		t.Fatal("row not added")
+	}
+	if tb.Cell(0, 2) != "" {
+		t.Fatal("short row not padded")
+	}
+}
+
+func TestTableLongRowPanics(t *testing.T) {
+	tb := NewTable("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized row did not panic")
+		}
+	}()
+	tb.AddRow("1", "2")
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tb := NewTable("", "k", "v")
+	tb.AddRow("plain", `has "quotes", and commas`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "k,v\nplain,\"has \"\"quotes\"\", and commas\"\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "s", "f", "i")
+	tb.AddRowf("x", 1.23456, 42)
+	if tb.Cell(0, 0) != "x" || tb.Cell(0, 1) != "1.235" || tb.Cell(0, 2) != "42" {
+		t.Fatalf("AddRowf cells: %q %q %q", tb.Cell(0, 0), tb.Cell(0, 1), tb.Cell(0, 2))
+	}
+}

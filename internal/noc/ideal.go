@@ -1,0 +1,145 @@
+package noc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"onocsim/internal/sim"
+)
+
+// Ideal is a contention-free fixed-latency fabric with an optional per-node
+// injection bandwidth cap. It is the cheap reference network on which traces
+// are captured: fast to simulate and deliberately different from both study
+// fabrics, so that naive timestamp replay exhibits the timing error the
+// self-correction model must remove.
+type Ideal struct {
+	nodes     int
+	latency   sim.Tick
+	bytesPerC int
+	now       sim.Tick
+	deliver   DeliverFunc
+	stats     *Stats
+
+	// nextFree[n] is the first cycle node n's injection port is free,
+	// implementing the bandwidth cap as a serialization delay.
+	nextFree []sim.Tick
+	inflight deliveryHeap
+}
+
+type pendingDelivery struct {
+	at  sim.Tick
+	seq uint64
+	msg *Message
+}
+
+type deliveryHeap []pendingDelivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x interface{}) { *h = append(*h, x.(pendingDelivery)) }
+func (h *deliveryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// NewIdeal builds an ideal network over the given number of nodes with the
+// given fixed latency (cycles) and per-node injection bandwidth cap in
+// bytes/cycle (0 disables the cap).
+func NewIdeal(nodes int, latency sim.Tick, bytesPerCycle int) *Ideal {
+	if nodes < 1 {
+		panic(fmt.Sprintf("noc: ideal network needs ≥1 node, got %d", nodes))
+	}
+	if latency < 1 {
+		panic(fmt.Sprintf("noc: ideal latency must be ≥1, got %d", latency))
+	}
+	return &Ideal{
+		nodes:     nodes,
+		latency:   latency,
+		bytesPerC: bytesPerCycle,
+		stats:     NewStats(),
+		nextFree:  make([]sim.Tick, nodes),
+	}
+}
+
+// Nodes implements Network.
+func (n *Ideal) Nodes() int { return n.nodes }
+
+// SetDeliver implements Network.
+func (n *Ideal) SetDeliver(fn DeliverFunc) { n.deliver = fn }
+
+// Now implements Network.
+func (n *Ideal) Now() sim.Tick { return n.now }
+
+// Stats implements Network.
+func (n *Ideal) Stats() *Stats { return n.stats }
+
+// Inject implements Network.
+func (n *Ideal) Inject(m *Message) {
+	if m.Src < 0 || m.Src >= n.nodes || m.Dst < 0 || m.Dst >= n.nodes {
+		panic(fmt.Sprintf("noc: message %d endpoints (%d->%d) out of range [0,%d)", m.ID, m.Src, m.Dst, n.nodes))
+	}
+	m.Inject = n.now
+	n.stats.Injected++
+	start := n.now
+	if n.bytesPerC > 0 {
+		if n.nextFree[m.Src] > start {
+			start = n.nextFree[m.Src]
+		}
+		ser := sim.Tick((m.Bytes + n.bytesPerC - 1) / n.bytesPerC)
+		if ser < 1 {
+			ser = 1
+		}
+		n.nextFree[m.Src] = start + ser
+		start += ser - 1
+	}
+	n.stats.QueueDelay.Add(float64(start - n.now))
+	at := start + n.latency
+	if m.Src == m.Dst {
+		at = n.now + 1
+	}
+	heap.Push(&n.inflight, pendingDelivery{at: at, seq: uint64(n.stats.Injected), msg: m})
+}
+
+// Tick implements Network.
+func (n *Ideal) Tick() {
+	n.now++
+	for len(n.inflight) > 0 && n.inflight[0].at <= n.now {
+		d := heap.Pop(&n.inflight).(pendingDelivery)
+		d.msg.Arrive = n.now
+		n.stats.RecordDelivery(d.msg)
+		n.stats.HopCount.Add(1)
+		if n.deliver != nil {
+			n.deliver(d.msg)
+		}
+	}
+}
+
+// Busy implements Network.
+func (n *Ideal) Busy() bool { return len(n.inflight) > 0 }
+
+// ZeroLoadLatency implements Network.
+func (n *Ideal) ZeroLoadLatency(src, dst, bytes int) sim.Tick {
+	if src == dst {
+		return 1
+	}
+	l := n.latency
+	if n.bytesPerC > 0 {
+		l += sim.Tick((bytes+n.bytesPerC-1)/n.bytesPerC) - 1
+	}
+	return l
+}
+
+// PowerReport implements Network. The ideal fabric has no power model; it
+// exists only as a capture substrate.
+func (n *Ideal) PowerReport(elapsed sim.Tick, clockGHz float64) PowerReport {
+	return PowerReport{Breakdown: map[string]float64{}}
+}

@@ -1,0 +1,153 @@
+// Package noc defines the interconnect abstraction shared by every fabric in
+// onocsim — the electrical mesh, the optical crossbar, and the ideal
+// reference network — together with the message type, delivery statistics,
+// and power reporting common to all of them.
+//
+// All fabrics are synchronous cycle-level models: the owner calls Tick once
+// per system clock cycle, injects messages at the current cycle, and receives
+// deliveries through a callback. This single contract is what lets the
+// execution-driven system, the naive trace replayer, and the self-correction
+// engine run unmodified on any fabric.
+package noc
+
+import (
+	"onocsim/internal/metrics"
+	"onocsim/internal/sim"
+)
+
+// Class partitions messages into virtual networks so that request/response
+// protocol cycles cannot deadlock in the fabric.
+type Class uint8
+
+const (
+	// ClassRequest carries coherence/sync requests.
+	ClassRequest Class = iota
+	// ClassResponse carries data and acknowledgement responses.
+	ClassResponse
+	// ClassWriteback carries evictions and releases.
+	ClassWriteback
+	// NumClasses is the number of virtual networks.
+	NumClasses
+)
+
+// String names the class for reports.
+func (c Class) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassResponse:
+		return "response"
+	case ClassWriteback:
+		return "writeback"
+	default:
+		return "invalid"
+	}
+}
+
+// Message is one network transaction. The fabric treats Payload as opaque
+// and guarantees delivery of every injected message exactly once.
+type Message struct {
+	// ID is unique per simulation and assigned by the producer.
+	ID uint64
+	// Src and Dst are node indices in [0, Nodes).
+	Src, Dst int
+	// Bytes is the payload size; the fabric derives flit/serialization
+	// counts from it.
+	Bytes int
+	// Class selects the virtual network.
+	Class Class
+	// Inject and Arrive are stamped by the fabric.
+	Inject, Arrive sim.Tick
+	// Payload is delivered untouched to the destination.
+	Payload interface{}
+}
+
+// Latency returns the end-to-end message latency; it is only meaningful
+// after delivery.
+func (m *Message) Latency() sim.Tick { return m.Arrive - m.Inject }
+
+// DeliverFunc receives a message at its destination node.
+type DeliverFunc func(m *Message)
+
+// Network is the fabric contract.
+type Network interface {
+	// Nodes returns the endpoint count.
+	Nodes() int
+	// Inject enqueues m at its source at the current cycle. Injection
+	// never fails: fabrics apply backpressure internally by queueing at
+	// the network interface. Self-messages (Src == Dst) are delivered on
+	// the next Tick without touching the fabric.
+	Inject(m *Message)
+	// Tick advances the fabric by one system clock cycle.
+	Tick()
+	// Now returns the current cycle (number of completed Ticks).
+	Now() sim.Tick
+	// SetDeliver registers the delivery callback; it must be set before
+	// the first Tick that could deliver.
+	SetDeliver(fn DeliverFunc)
+	// Busy reports whether any message is queued or in flight.
+	Busy() bool
+	// Stats exposes the shared counters.
+	Stats() *Stats
+	// ZeroLoadLatency estimates the uncontended latency of a message of
+	// the given size between two nodes; the self-correction engine uses
+	// it to seed its first iteration.
+	ZeroLoadLatency(src, dst, bytes int) sim.Tick
+	// PowerReport resolves the power model over an elapsed window.
+	PowerReport(elapsed sim.Tick, clockGHz float64) PowerReport
+}
+
+// Stats aggregates the counters every fabric maintains.
+type Stats struct {
+	Injected  uint64
+	Delivered uint64
+	// Latency is the exact end-to-end latency distribution in cycles.
+	Latency *metrics.Histogram
+	// PerClass splits latency by virtual network: coherence studies care
+	// whether requests or data responses are the slow class.
+	PerClass [NumClasses]metrics.Summary
+	// QueueDelay measures source-NI queueing (injection backpressure).
+	QueueDelay metrics.Summary
+	// HopCount distribution (electrical) or token wait (optical); the
+	// fabric documents its meaning.
+	HopCount metrics.Summary
+	// BytesDelivered totals payload bytes that completed.
+	BytesDelivered uint64
+}
+
+// NewStats returns an initialized stats block.
+func NewStats() *Stats {
+	return &Stats{Latency: metrics.NewLatencyHistogram(20)}
+}
+
+// RecordDelivery folds one completed message into the counters.
+func (s *Stats) RecordDelivery(m *Message) {
+	s.Delivered++
+	s.BytesDelivered += uint64(m.Bytes)
+	s.Latency.Add(float64(m.Latency()))
+	if m.Class < NumClasses {
+		s.PerClass[m.Class].Add(float64(m.Latency()))
+	}
+}
+
+// MeanLatency returns the mean delivered latency in cycles.
+func (s *Stats) MeanLatency() float64 { return s.Latency.Mean() }
+
+// PowerReport is the resolved power of a fabric over a measurement window.
+type PowerReport struct {
+	// StaticMW is load-independent power (leakage, laser, ring tuning).
+	StaticMW float64
+	// DynamicMW is activity-proportional power averaged over the window.
+	DynamicMW float64
+	// Breakdown itemizes contributions by component name.
+	Breakdown map[string]float64
+}
+
+// TotalMW returns static plus dynamic power.
+func (p PowerReport) TotalMW() float64 { return p.StaticMW + p.DynamicMW }
+
+// EnergyMJ returns the window energy in millijoules given the elapsed
+// simulated seconds.
+func (p PowerReport) EnergyMJ(seconds float64) float64 {
+	return p.TotalMW() * seconds
+}

@@ -1,0 +1,276 @@
+// Package onoc implements the optical Network-on-Chip under study: a
+// Corona-class multiple-writer single-reader (MWSR) wavelength-routed
+// crossbar. Every node owns a "home channel" — a WDM group of wavelengths on
+// the serpentine waveguide that only it detects — and any other node may
+// modulate onto that channel after acquiring the channel's circulating
+// arbitration token. The physical layer (losses, laser power, per-bit
+// energies) comes from internal/photonics.
+//
+// The model is cycle-level: token circulation, channel serialization at the
+// aggregate WDM line rate, light propagation scaled by serpentine distance,
+// and O/E conversion overheads are all modelled in system clock cycles.
+package onoc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"onocsim/internal/config"
+	"onocsim/internal/noc"
+	"onocsim/internal/photonics"
+	"onocsim/internal/sim"
+)
+
+// Network is the optical crossbar fabric. It implements noc.Network.
+type Network struct {
+	cfg   config.Optical
+	nodes int
+
+	now     sim.Tick
+	deliver noc.DeliverFunc
+	stats   *noc.Stats
+
+	// bitsPerCycle is the aggregate capacity of one home channel.
+	bitsPerCycle float64
+
+	channels []*channel
+	arrivals arrivalHeap
+	seq      uint64
+	inflight int
+
+	// Power accounting.
+	devices  photonics.DeviceParams
+	budget   photonics.Budget
+	bitsSent uint64
+	grabs    uint64
+
+	// TokenWait is exposed through Stats().HopCount: for the optical
+	// fabric "hops" means cycles spent waiting for the channel token.
+}
+
+// channel is the home channel of one destination node.
+type channel struct {
+	dst int
+	// queues[src] holds messages from src awaiting the token.
+	queues [][]*pending
+	queued int
+	// tokenPos is the node currently able to grab the token.
+	tokenPos int
+	// tokenReady is the cycle at which the token becomes actionable at
+	// tokenPos (circulation delay or post-transmission release).
+	tokenReady sim.Tick
+	// holdCount counts consecutive transmissions by tokenPos, bounded by
+	// MaxTokenHold for fairness.
+	holdCount int
+}
+
+type pending struct {
+	msg *noc.Message
+}
+
+type arrival struct {
+	at  sim.Tick
+	seq uint64
+	msg *noc.Message
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// New builds the crossbar for the given node count.
+func New(nodes int, cfg config.Optical) *Network {
+	if nodes < 2 {
+		panic(fmt.Sprintf("onoc: need ≥2 nodes, got %d", nodes))
+	}
+	bpc := float64(cfg.WavelengthsPerChannel) * cfg.GbpsPerWavelength / cfg.ClockGHz
+	if bpc <= 0 {
+		panic("onoc: non-positive channel capacity")
+	}
+	n := &Network{
+		cfg:          cfg,
+		nodes:        nodes,
+		stats:        noc.NewStats(),
+		bitsPerCycle: bpc,
+		devices:      photonics.DefaultDeviceParams(),
+	}
+	budget, err := photonics.ComputeBudget(n.devices, photonics.CrossbarGeometry{
+		Nodes:                 nodes,
+		WavelengthsPerChannel: cfg.WavelengthsPerChannel,
+		DieEdgeCm:             cfg.DieEdgeCm,
+	})
+	if err != nil {
+		panic("onoc: " + err.Error())
+	}
+	n.budget = budget
+	n.channels = make([]*channel, nodes)
+	for d := 0; d < nodes; d++ {
+		ch := &channel{dst: d, tokenPos: (d + 1) % nodes}
+		ch.queues = make([][]*pending, nodes)
+		n.channels[d] = ch
+	}
+	return n
+}
+
+// Nodes implements noc.Network.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Now implements noc.Network.
+func (n *Network) Now() sim.Tick { return n.now }
+
+// Stats implements noc.Network. For this fabric, Stats().HopCount records
+// token-acquisition wait cycles rather than hop counts.
+func (n *Network) Stats() *noc.Stats { return n.stats }
+
+// SetDeliver implements noc.Network.
+func (n *Network) SetDeliver(fn noc.DeliverFunc) { n.deliver = fn }
+
+// Budget exposes the resolved static photonic budget for reporting.
+func (n *Network) Budget() photonics.Budget { return n.budget }
+
+// SerializationCycles returns the channel occupancy of a payload.
+func (n *Network) SerializationCycles(bytes int) sim.Tick {
+	bits := float64(bytes) * 8
+	c := sim.Tick(bits / n.bitsPerCycle)
+	if float64(c)*n.bitsPerCycle < bits {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// propagation returns the light travel time from src to the channel reader
+// dst along the serpentine (messages travel downstream only).
+func (n *Network) propagation(src, dst int) sim.Tick {
+	hops := (dst - src + n.nodes) % n.nodes
+	p := sim.Tick(int64(hops) * n.cfg.PropagationCyclesAcross / int64(n.nodes))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Inject implements noc.Network.
+func (n *Network) Inject(m *noc.Message) {
+	if m.Src < 0 || m.Src >= n.nodes || m.Dst < 0 || m.Dst >= n.nodes {
+		panic(fmt.Sprintf("onoc: message %d endpoints (%d->%d) out of range [0,%d)", m.ID, m.Src, m.Dst, n.nodes))
+	}
+	m.Inject = n.now
+	n.stats.Injected++
+	n.inflight++
+	if m.Src == m.Dst {
+		n.seq++
+		heap.Push(&n.arrivals, arrival{at: n.now + 1, seq: n.seq, msg: m})
+		return
+	}
+	ch := n.channels[m.Dst]
+	ch.queues[m.Src] = append(ch.queues[m.Src], &pending{msg: m})
+	ch.queued++
+}
+
+// Tick implements noc.Network: deliver due arrivals, then advance every
+// channel's token/transmission state by one cycle.
+func (n *Network) Tick() {
+	n.now++
+	for len(n.arrivals) > 0 && n.arrivals[0].at <= n.now {
+		a := heap.Pop(&n.arrivals).(arrival)
+		a.msg.Arrive = n.now
+		n.stats.RecordDelivery(a.msg)
+		n.inflight--
+		if n.deliver != nil {
+			n.deliver(a.msg)
+		}
+	}
+	for _, ch := range n.channels {
+		n.stepChannel(ch)
+	}
+}
+
+// stepChannel advances one channel: either start a transmission at the
+// token's current position, or circulate the token.
+func (n *Network) stepChannel(ch *channel) {
+	if ch.tokenReady > n.now {
+		return // token in flight or channel transmitting
+	}
+	q := ch.queues[ch.tokenPos]
+	if len(q) > 0 && ch.holdCount < n.cfg.MaxTokenHold {
+		p := q[0]
+		ch.queues[ch.tokenPos] = q[1:]
+		ch.queued--
+		ch.holdCount++
+		m := p.msg
+		ser := n.SerializationCycles(m.Bytes)
+		oe := sim.Tick(n.cfg.OEOverheadCycles)
+		prop := n.propagation(m.Src, m.Dst)
+		n.stats.HopCount.Add(float64(n.now - m.Inject)) // token wait
+		n.stats.QueueDelay.Add(float64(n.now - m.Inject))
+		arriveAt := n.now + oe + ser + prop
+		n.seq++
+		heap.Push(&n.arrivals, arrival{at: arriveAt, seq: n.seq, msg: m})
+		n.bitsSent += uint64(m.Bytes) * 8
+		n.grabs++
+		// The channel is occupied for the serialization period; the
+		// token resumes circulating from here afterwards.
+		ch.tokenReady = n.now + ser
+		return
+	}
+	// Advance the token to the next node.
+	ch.holdCount = 0
+	ch.tokenPos = (ch.tokenPos + 1) % n.nodes
+	ch.tokenReady = n.now + sim.Tick(n.cfg.TokenHopCycles)
+}
+
+// Busy implements noc.Network.
+func (n *Network) Busy() bool { return n.inflight > 0 }
+
+// ZeroLoadLatency implements noc.Network: expected token wait (half a
+// circulation at zero load) plus O/E overhead, serialization and mean
+// propagation.
+func (n *Network) ZeroLoadLatency(src, dst, bytes int) sim.Tick {
+	if src == dst {
+		return 1
+	}
+	tokenWait := sim.Tick(int64(n.nodes) * n.cfg.TokenHopCycles / 2)
+	return tokenWait + sim.Tick(n.cfg.OEOverheadCycles) + n.SerializationCycles(bytes) + n.propagation(src, dst)
+}
+
+// PowerReport implements noc.Network: static laser + ring tuning from the
+// photonic budget, dynamic modulation/reception energy over the window.
+func (n *Network) PowerReport(elapsed sim.Tick, clockGHz float64) noc.PowerReport {
+	seconds := float64(elapsed) / (clockGHz * 1e9)
+	dynPJ := n.devices.DynamicEnergyPJ(int64(n.bitsSent))
+	// Charge a small electrical arbitration cost per token grab.
+	const tokenGrabPJ = 0.5
+	dynPJ += float64(n.grabs) * tokenGrabPJ
+	dynMW := 0.0
+	if seconds > 0 {
+		dynMW = dynPJ * 1e-9 / seconds
+	}
+	static := n.budget.LaserPowerMW + n.budget.TuningPowerMW
+	return noc.PowerReport{
+		StaticMW:  static,
+		DynamicMW: dynMW,
+		Breakdown: map[string]float64{
+			"laser_mw":     n.budget.LaserPowerMW,
+			"tuning_mw":    n.budget.TuningPowerMW,
+			"endpoints_mw": dynMW,
+		},
+	}
+}

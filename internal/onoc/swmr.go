@@ -1,0 +1,195 @@
+package onoc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"onocsim/internal/config"
+	"onocsim/internal/noc"
+	"onocsim/internal/photonics"
+	"onocsim/internal/sim"
+)
+
+// SWMR is the single-writer multiple-reader crossbar (Firefly-class): every
+// node owns a broadcast channel that only it modulates, and every other node
+// carries a receiver bank for that channel. Arbitration disappears — a
+// sender serializes only behind its own earlier messages — at the price of a
+// quadratic receiver-ring budget whose thermal tuning dominates static
+// power. The MWSR/SWMR pair brackets the classic ONOC design space:
+// arbitration latency versus static power.
+type SWMR struct {
+	cfg   config.Optical
+	nodes int
+
+	now     sim.Tick
+	deliver noc.DeliverFunc
+	stats   *noc.Stats
+
+	bitsPerCycle float64
+
+	// chanFree[s] is the first cycle node s's send channel is free.
+	chanFree []sim.Tick
+	// queues[s] holds messages awaiting the channel, FIFO.
+	queues   [][]*noc.Message
+	arrivals arrivalHeap
+	seq      uint64
+	inflight int
+
+	devices  photonics.DeviceParams
+	budget   photonics.Budget
+	bitsSent uint64
+	sends    uint64
+}
+
+// NewSWMR builds the broadcast crossbar for the given node count.
+func NewSWMR(nodes int, cfg config.Optical) *SWMR {
+	if nodes < 2 {
+		panic(fmt.Sprintf("onoc: swmr needs ≥2 nodes, got %d", nodes))
+	}
+	bpc := float64(cfg.WavelengthsPerChannel) * cfg.GbpsPerWavelength / cfg.ClockGHz
+	if bpc <= 0 {
+		panic("onoc: non-positive channel capacity")
+	}
+	n := &SWMR{
+		cfg:          cfg,
+		nodes:        nodes,
+		stats:        noc.NewStats(),
+		bitsPerCycle: bpc,
+		devices:      photonics.DefaultDeviceParams(),
+		chanFree:     make([]sim.Tick, nodes),
+		queues:       make([][]*noc.Message, nodes),
+	}
+	budget, err := photonics.ComputeBudget(n.devices, photonics.CrossbarGeometry{
+		Nodes:                 nodes,
+		WavelengthsPerChannel: cfg.WavelengthsPerChannel,
+		DieEdgeCm:             cfg.DieEdgeCm,
+	})
+	if err != nil {
+		panic("onoc: " + err.Error())
+	}
+	// The ring count is symmetric with MWSR (N·(N-1) receiver banks here
+	// versus N·(N-1) modulator banks there), so tuning power matches. The
+	// SWMR penalty is the broadcast laser budget: every wavelength's
+	// optical power must be split across all N-1 potential readers, a
+	// 10·log10(N-1) dB splitting loss on top of the serpentine path, so
+	// the wall-plug laser power scales by roughly the reader count.
+	budget.LaserPowerMW *= float64(nodes - 1)
+	n.budget = budget
+	return n
+}
+
+// Nodes implements noc.Network.
+func (n *SWMR) Nodes() int { return n.nodes }
+
+// Now implements noc.Network.
+func (n *SWMR) Now() sim.Tick { return n.now }
+
+// Stats implements noc.Network. HopCount records sender-channel queueing.
+func (n *SWMR) Stats() *noc.Stats { return n.stats }
+
+// SetDeliver implements noc.Network.
+func (n *SWMR) SetDeliver(fn noc.DeliverFunc) { n.deliver = fn }
+
+// Budget exposes the resolved photonic budget.
+func (n *SWMR) Budget() photonics.Budget { return n.budget }
+
+// SerializationCycles returns the channel occupancy of a payload.
+func (n *SWMR) SerializationCycles(bytes int) sim.Tick {
+	bits := float64(bytes) * 8
+	c := sim.Tick(bits / n.bitsPerCycle)
+	if float64(c)*n.bitsPerCycle < bits {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// propagation mirrors the MWSR serpentine distance model.
+func (n *SWMR) propagation(src, dst int) sim.Tick {
+	hops := (dst - src + n.nodes) % n.nodes
+	p := sim.Tick(int64(hops) * n.cfg.PropagationCyclesAcross / int64(n.nodes))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Inject implements noc.Network.
+func (n *SWMR) Inject(m *noc.Message) {
+	if m.Src < 0 || m.Src >= n.nodes || m.Dst < 0 || m.Dst >= n.nodes {
+		panic(fmt.Sprintf("onoc: swmr message %d endpoints (%d->%d) out of range [0,%d)", m.ID, m.Src, m.Dst, n.nodes))
+	}
+	m.Inject = n.now
+	n.stats.Injected++
+	n.inflight++
+	if m.Src == m.Dst {
+		n.seq++
+		heap.Push(&n.arrivals, arrival{at: n.now + 1, seq: n.seq, msg: m})
+		return
+	}
+	n.queues[m.Src] = append(n.queues[m.Src], m)
+}
+
+// Tick implements noc.Network.
+func (n *SWMR) Tick() {
+	n.now++
+	for len(n.arrivals) > 0 && n.arrivals[0].at <= n.now {
+		a := heap.Pop(&n.arrivals).(arrival)
+		a.msg.Arrive = n.now
+		n.stats.RecordDelivery(a.msg)
+		n.inflight--
+		if n.deliver != nil {
+			n.deliver(a.msg)
+		}
+	}
+	for s := 0; s < n.nodes; s++ {
+		if len(n.queues[s]) == 0 || n.chanFree[s] > n.now {
+			continue
+		}
+		m := n.queues[s][0]
+		n.queues[s] = n.queues[s][1:]
+		ser := n.SerializationCycles(m.Bytes)
+		oe := sim.Tick(n.cfg.OEOverheadCycles)
+		wait := n.now - m.Inject
+		n.stats.HopCount.Add(float64(wait))
+		n.stats.QueueDelay.Add(float64(wait))
+		n.seq++
+		heap.Push(&n.arrivals, arrival{at: n.now + oe + ser + n.propagation(m.Src, m.Dst), seq: n.seq, msg: m})
+		n.chanFree[s] = n.now + ser
+		n.bitsSent += uint64(m.Bytes) * 8
+		n.sends++
+	}
+}
+
+// Busy implements noc.Network.
+func (n *SWMR) Busy() bool { return n.inflight > 0 }
+
+// ZeroLoadLatency implements noc.Network: no arbitration wait at all.
+func (n *SWMR) ZeroLoadLatency(src, dst, bytes int) sim.Tick {
+	if src == dst {
+		return 1
+	}
+	return sim.Tick(n.cfg.OEOverheadCycles) + n.SerializationCycles(bytes) + n.propagation(src, dst)
+}
+
+// PowerReport implements noc.Network.
+func (n *SWMR) PowerReport(elapsed sim.Tick, clockGHz float64) noc.PowerReport {
+	seconds := float64(elapsed) / (clockGHz * 1e9)
+	dynPJ := n.devices.DynamicEnergyPJ(int64(n.bitsSent))
+	dynMW := 0.0
+	if seconds > 0 {
+		dynMW = dynPJ * 1e-9 / seconds
+	}
+	static := n.budget.LaserPowerMW + n.budget.TuningPowerMW
+	return noc.PowerReport{
+		StaticMW:  static,
+		DynamicMW: dynMW,
+		Breakdown: map[string]float64{
+			"laser_mw":     n.budget.LaserPowerMW,
+			"tuning_mw":    n.budget.TuningPowerMW,
+			"endpoints_mw": dynMW,
+		},
+	}
+}

@@ -1,0 +1,122 @@
+package photonics
+
+import "fmt"
+
+// CrossbarGeometry describes the physical layout of a Corona-class
+// multiple-writer single-reader (MWSR) serpentine crossbar well enough to
+// derive its worst-case lightpath and its static power.
+type CrossbarGeometry struct {
+	// Nodes is the number of network endpoints (one home channel each).
+	Nodes int
+	// WavelengthsPerChannel is the WDM degree of each home channel.
+	WavelengthsPerChannel int
+	// DieEdgeCm is the physical die edge; the serpentine waveguide length
+	// scales with it.
+	DieEdgeCm float64
+}
+
+// Validate reports the first invalid geometry field.
+func (g CrossbarGeometry) Validate() error {
+	if g.Nodes < 2 {
+		return fmt.Errorf("photonics: crossbar needs ≥2 nodes, got %d", g.Nodes)
+	}
+	if g.WavelengthsPerChannel < 1 {
+		return fmt.Errorf("photonics: wavelengths per channel must be ≥1, got %d", g.WavelengthsPerChannel)
+	}
+	if g.DieEdgeCm <= 0 {
+		return fmt.Errorf("photonics: die edge must be positive, got %g", g.DieEdgeCm)
+	}
+	return nil
+}
+
+// SerpentineLengthCm estimates the full serpentine waveguide length: the
+// waveguide snakes across the die once per node row. We model the standard
+// layout where the serpentine visits every node once: length ≈ nodes/rowlen
+// passes of the die edge, with rowlen = sqrt(nodes).
+func (g CrossbarGeometry) SerpentineLengthCm() float64 {
+	rows := 1
+	for rows*rows < g.Nodes {
+		rows++
+	}
+	return float64(rows) * g.DieEdgeCm
+}
+
+// WorstPath returns the element counts of the longest lightpath: a writer
+// adjacent (just downstream) of the reader must send light almost the entire
+// serpentine length, passing the modulator banks of every intermediate node.
+func (g CrossbarGeometry) WorstPath() PathProfile {
+	// Each intermediate node contributes one modulator bank of
+	// off-resonance rings on this channel (WavelengthsPerChannel rings),
+	// and the die-spanning serpentine contributes bends: 2 per row.
+	rows := 1
+	for rows*rows < g.Nodes {
+		rows++
+	}
+	return PathProfile{
+		Couplers:        2, // laser in, (conservatively) one more distribution coupler
+		WaveguideCm:     g.SerpentineLengthCm(),
+		Bends:           2 * rows,
+		SplitterStages:  log2ceil(g.Nodes), // laser power distribution tree
+		RingsPassed:     (g.Nodes - 2) * g.WavelengthsPerChannel,
+		RingsDropped:    1,
+		Crossings:       0,
+		PhotodetectorOn: true,
+	}
+}
+
+// TotalRings returns the number of microrings in the crossbar: every node
+// carries a modulator bank for every other node's home channel, plus its own
+// receive bank.
+func (g CrossbarGeometry) TotalRings() int {
+	modulators := g.Nodes * (g.Nodes - 1) * g.WavelengthsPerChannel
+	receivers := g.Nodes * g.WavelengthsPerChannel
+	return modulators + receivers
+}
+
+// Budget is the resolved static power budget of the crossbar.
+type Budget struct {
+	WorstLossDB        float64
+	LaserPowerMW       float64 // total electrical laser power, all wavelengths
+	TuningPowerMW      float64 // total thermal trimming power, all rings
+	TotalRings         int
+	WavelengthsOnChip  int
+	SerpentineLengthCm float64
+}
+
+// ComputeBudget resolves the full static budget for a geometry under the
+// given device parameters.
+func ComputeBudget(p DeviceParams, g CrossbarGeometry) (Budget, error) {
+	if err := p.Validate(); err != nil {
+		return Budget{}, err
+	}
+	if err := g.Validate(); err != nil {
+		return Budget{}, err
+	}
+	worst := p.LossDB(g.WorstPath())
+	perWavelength := p.LaserPowerPerWavelengthMW(worst)
+	wavelengths := g.Nodes * g.WavelengthsPerChannel
+	rings := g.TotalRings()
+	return Budget{
+		WorstLossDB:        worst,
+		LaserPowerMW:       perWavelength * float64(wavelengths),
+		TuningPowerMW:      p.TuningPowerMWPerRing * float64(rings),
+		TotalRings:         rings,
+		WavelengthsOnChip:  wavelengths,
+		SerpentineLengthCm: g.SerpentineLengthCm(),
+	}, nil
+}
+
+// DynamicEnergyPJ returns the endpoint dynamic energy of moving bits
+// optically: modulation at the writer plus reception at the reader.
+func (p DeviceParams) DynamicEnergyPJ(bits int64) float64 {
+	return float64(bits) * (p.ModulationEnergyPJPerBit + p.ReceiverEnergyPJPerBit)
+}
+
+func log2ceil(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	return k
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a unit of scheduled work. Events are ordered by time, with the
+// scheduling sequence number breaking ties so that execution order is total
+// and deterministic.
+type Event struct {
+	at  Tick
+	seq uint64
+	fn  func()
+}
+
+// At returns the simulated time at which the event fires.
+func (e *Event) At() Tick { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is
+// ready to use. Engine is not safe for concurrent use; each simulation owns
+// exactly one goroutine-confined engine.
+type Engine struct {
+	now     Tick
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Executed counts events that have fired; it is the canonical measure
+	// of simulation effort used by the R2 cost experiment.
+	Executed uint64
+}
+
+// NewEngine returns an empty engine positioned at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Tick { return e.now }
+
+// Pending returns the number of scheduled, not-yet-executed events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past is
+// a programming error and panics: silently reordering time would destroy the
+// determinism contract.
+func (e *Engine) Schedule(at Tick, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run delay ticks from now.
+func (e *Engine) After(delay Tick, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Stop makes the currently running Run call return after the in-flight
+// event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing time to it. It reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.Executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the final simulated time.
+func (e *Engine) Run() Tick {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ deadline. Events scheduled beyond the
+// deadline remain queued; time advances to the deadline if the queue runs
+// dry earlier, mirroring how a synchronous co-simulation window behaves.
+func (e *Engine) RunUntil(deadline Tick) Tick {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

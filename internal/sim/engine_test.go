@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("final time = %d, want 30", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order %v, want [1 2 3]", got)
+	}
+}
+
+func TestEngineTiesBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order %v, want ascending scheduling order", got)
+		}
+	}
+}
+
+func TestEngineEventsScheduleMoreEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			e.After(2, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	end := e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if end != 198 {
+		t.Fatalf("final time = %d, want 198", end)
+	}
+	if e.Executed != 100 {
+		t.Fatalf("Executed = %d, want 100", e.Executed)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1, func() { ran++; e.Stop() })
+	e.Schedule(2, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// Run again resumes.
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("resume ran %d total, want 2", ran)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Tick
+	for _, at := range []Tick{5, 10, 15, 20} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	now := e.RunUntil(12)
+	if now != 12 {
+		t.Fatalf("RunUntil returned %d, want 12", now)
+	}
+	if len(got) != 2 {
+		t.Fatalf("executed %v, want events at 5 and 10 only", got)
+	}
+	// Time advances to the deadline even with an empty window.
+	e2 := NewEngine()
+	if now := e2.RunUntil(50); now != 50 {
+		t.Fatalf("empty RunUntil returned %d, want 50", now)
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestClockConversions(t *testing.T) {
+	c := NewClock(2e9) // 2 GHz
+	if got := c.Seconds(2e9); got != 1.0 {
+		t.Fatalf("Seconds(2e9) = %g, want 1", got)
+	}
+	if got := c.Picoseconds(1); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("Picoseconds(1) = %g, want 500", got)
+	}
+	if got := c.TicksFromSeconds(1.0); got != 2_000_000_000 {
+		t.Fatalf("TicksFromSeconds(1) = %d", got)
+	}
+	// Rounds up.
+	if got := c.TicksFromSeconds(1.0000000001); got != 2_000_000_001 {
+		t.Fatalf("TicksFromSeconds rounding = %d, want 2000000001", got)
+	}
+}
+
+func TestClockInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-frequency clock did not panic")
+		}
+	}()
+	NewClock(0)
+}

@@ -1,0 +1,141 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, reproducible pseudo-random generator
+// (xoshiro256** seeded through SplitMix64). Every stochastic component in
+// onocsim owns its own RNG stream derived from the experiment seed and a
+// component label, so adding a component never perturbs the random sequence
+// observed by the others.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the seed expander; it is the standard SplitMix64 step.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed. Any seed, including zero, is
+// valid: SplitMix64 expansion guarantees a non-degenerate internal state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	return r
+}
+
+// NewStream derives an independent generator from a parent seed and a stream
+// label. Streams with distinct labels are statistically independent.
+func NewStream(seed uint64, label string) *RNG {
+	h := seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	return NewRNG(h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n ≤ 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation with rejection.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate ≤ 0.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("sim: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	// 1-u is in (0,1], so the log is finite.
+	return -math.Log(1-u) / rate
+}
+
+// Bernoulli reports true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns the number of failures before the first success in a
+// Bernoulli(p) process; it is used for bursty traffic interarrival times.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("sim: Geometric requires p in (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log(1-r.Float64()) / math.Log(1-p)))
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"testing"
+
+	"onocsim/internal/sim"
+)
+
+func TestCriticalPathLinearChain(t *testing.T) {
+	tr := tinyTrace()
+	// Weights with lat = 10 each:
+	//   e1: 5+10=15 → e2 (dep e1): 15+6+10=31 → e3 (deps e1,e2): 31+2+10=43.
+	cp, err := tr.CriticalPathWith([]sim.Tick{10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Length != 43 {
+		t.Fatalf("length = %d, want 43", cp.Length)
+	}
+	want := []EventID{1, 2, 3}
+	if len(cp.Events) != 3 {
+		t.Fatalf("path = %v", cp.Events)
+	}
+	for i := range want {
+		if cp.Events[i] != want[i] {
+			t.Fatalf("path = %v, want %v", cp.Events, want)
+		}
+	}
+}
+
+func TestCriticalPathPicksHeavierBranch(t *testing.T) {
+	tr := &Trace{
+		Nodes: 4, RefMakespan: 1000,
+		Events: []Event{
+			{ID: 1, Src: 0, Dst: 1, Bytes: 8, Gap: 1, RefInject: 1, RefArrive: 2},
+			{ID: 2, Src: 1, Dst: 2, Bytes: 8, Gap: 100, RefInject: 102, RefArrive: 110},
+			{ID: 3, Src: 2, Dst: 3, Bytes: 8, Gap: 1,
+				Deps:      []Dep{{On: 1, Class: DepCausal}, {On: 2, Class: DepCausal}},
+				RefInject: 111, RefArrive: 120},
+		},
+	}
+	cp, err := tr.CriticalPathWith([]sim.Tick{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy branch is via e2 (gap 100).
+	if len(cp.Events) != 2 || cp.Events[0] != 2 || cp.Events[1] != 3 {
+		t.Fatalf("path = %v, want [2 3]", cp.Events)
+	}
+	if cp.Length != 103 { // e2: 100+1=101; e3: 101+1+1=103
+		t.Fatalf("length = %d, want 103", cp.Length)
+	}
+}
+
+func TestCriticalPathReference(t *testing.T) {
+	tr := tinyTrace()
+	cp, err := tr.CriticalPathReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Length <= 0 || len(cp.Events) == 0 {
+		t.Fatalf("degenerate reference critical path: %+v", cp)
+	}
+	// The reference critical path cannot exceed the reference makespan in
+	// a trace whose timestamps were produced by a real run... here the
+	// synthetic makespan is 100 and the chain ends at 73+something; just
+	// check against last arrival.
+	if cp.Length < 73 {
+		t.Fatalf("length %d below last arrival", cp.Length)
+	}
+}
+
+func TestCriticalPathErrors(t *testing.T) {
+	tr := tinyTrace()
+	if _, err := tr.CriticalPathWith([]sim.Tick{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	empty := &Trace{Nodes: 1}
+	cp, err := empty.CriticalPathWith(nil)
+	if err != nil || cp.Length != 0 || len(cp.Events) != 0 {
+		t.Fatalf("empty trace: %+v, %v", cp, err)
+	}
+}
+
+func TestDepthHistogram(t *testing.T) {
+	tr := tinyTrace()
+	hist := tr.DepthHistogram()
+	// e1 depth 0; e2 depth 1; e3 depth 2.
+	if len(hist) != 3 || hist[0] != 1 || hist[1] != 1 || hist[2] != 1 {
+		t.Fatalf("hist = %v", hist)
+	}
+}
+
+func TestNodeActivity(t *testing.T) {
+	tr := tinyTrace()
+	sends, recvs := tr.NodeActivity()
+	if sends[0] != 2 || sends[1] != 1 {
+		t.Fatalf("sends = %v", sends)
+	}
+	if recvs[2] != 2 || recvs[1] != 1 {
+		t.Fatalf("recvs = %v", recvs)
+	}
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"onocsim/internal/noc"
+	"onocsim/internal/sim"
+)
+
+// Binary trace format
+//
+//	magic   "SCTM"            4 bytes
+//	version uvarint           currently 1
+//	nodes   uvarint
+//	wlen    uvarint, workload bytes
+//	makespan uvarint
+//	nevents uvarint
+//	then per event:
+//	  src, dst, bytes, class, kind, gap  (uvarints)
+//	  refInject, refArrive               (uvarints)
+//	  ndeps uvarint, then per dep: onDelta uvarint (self-on), class uvarint
+//
+// Dependency IDs are delta-encoded against the event's own ID, which keeps
+// the common "depends on a recent event" case to one or two bytes.
+
+const (
+	magic         = "SCTM"
+	formatVersion = 1
+)
+
+// WriteBinary serializes the trace to w in the compact binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("trace: refusing to write invalid trace: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putU(formatVersion); err != nil {
+		return err
+	}
+	if err := putU(uint64(t.Nodes)); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(t.Workload))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Workload); err != nil {
+		return err
+	}
+	if err := putU(uint64(t.RefMakespan)); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	for i := range t.Events {
+		e := &t.Events[i]
+		for _, v := range []uint64{
+			uint64(e.Src), uint64(e.Dst), uint64(e.Bytes),
+			uint64(e.Class), uint64(e.Kind), uint64(e.Gap),
+			uint64(e.RefInject), uint64(e.RefArrive),
+			uint64(len(e.Deps)),
+		} {
+			if err := putU(v); err != nil {
+				return err
+			}
+		}
+		for _, d := range e.Deps {
+			if err := putU(uint64(e.ID - d.On)); err != nil {
+				return err
+			}
+			if err := putU(uint64(d.Class)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a trace written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	getU := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: reading %s: %w", what, err)
+		}
+		return v, nil
+	}
+	ver, err := getU("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d", ver)
+	}
+	nodes, err := getU("nodes")
+	if err != nil {
+		return nil, err
+	}
+	wlen, err := getU("workload length")
+	if err != nil {
+		return nil, err
+	}
+	if wlen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible workload name length %d", wlen)
+	}
+	wl := make([]byte, wlen)
+	if _, err := io.ReadFull(br, wl); err != nil {
+		return nil, fmt.Errorf("trace: reading workload name: %w", err)
+	}
+	makespan, err := getU("makespan")
+	if err != nil {
+		return nil, err
+	}
+	nevents, err := getU("event count")
+	if err != nil {
+		return nil, err
+	}
+	if nevents > 1<<31 {
+		return nil, fmt.Errorf("trace: implausible event count %d", nevents)
+	}
+	t := &Trace{
+		Nodes:       int(nodes),
+		Workload:    string(wl),
+		RefMakespan: sim.Tick(makespan),
+		Events:      make([]Event, nevents),
+	}
+	for i := range t.Events {
+		e := &t.Events[i]
+		e.ID = EventID(i + 1)
+		fields := [9]uint64{}
+		names := [9]string{"src", "dst", "bytes", "class", "kind", "gap", "ref_inject", "ref_arrive", "ndeps"}
+		for j := range fields {
+			v, err := getU(names[j])
+			if err != nil {
+				return nil, err
+			}
+			fields[j] = v
+		}
+		e.Src, e.Dst, e.Bytes = int(fields[0]), int(fields[1]), int(fields[2])
+		e.Class = noc.Class(fields[3])
+		e.Kind = Kind(fields[4])
+		e.Gap = sim.Tick(fields[5])
+		e.RefInject = sim.Tick(fields[6])
+		e.RefArrive = sim.Tick(fields[7])
+		ndeps := fields[8]
+		if ndeps > uint64(i)+1 {
+			return nil, fmt.Errorf("trace: event %d claims %d deps", e.ID, ndeps)
+		}
+		if ndeps > 0 {
+			e.Deps = make([]Dep, ndeps)
+			for k := range e.Deps {
+				delta, err := getU("dep id")
+				if err != nil {
+					return nil, err
+				}
+				if delta == 0 || delta >= uint64(e.ID) {
+					return nil, fmt.Errorf("trace: event %d has invalid dep delta %d", e.ID, delta)
+				}
+				cls, err := getU("dep class")
+				if err != nil {
+					return nil, err
+				}
+				e.Deps[k] = Dep{On: e.ID - EventID(delta), Class: DepClass(cls)}
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SaveFile writes the binary format to path.
+func SaveFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := WriteBinary(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads the binary format from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// WriteJSON serializes the trace as indented JSON, for inspection and
+// interchange with plotting tools.
+func WriteJSON(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// ReadJSON deserializes and validates a JSON trace.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	if err := json.NewDecoder(r).Decode(t); err != nil {
+		return nil, fmt.Errorf("trace: json decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
