@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench report report-csv examples clean
+.PHONY: all build vet test test-race bench bench-json report report-csv examples clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,11 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot: runs the root-package benchmarks plus
+# the engine micro-benchmarks and folds the results into BENCH_PR1.json.
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ | $(GO) run ./cmd/benchjson -out BENCH_PR1.json -baseline BENCH_BASELINE.txt
 
 # Regenerate the full evaluation (R1–R16) at paper scale.
 report:

@@ -22,6 +22,8 @@ package onocsim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"onocsim/internal/config"
@@ -100,16 +102,33 @@ func BuildNetwork(cfg Config, kind NetworkKind) (Network, error) {
 	}
 }
 
+// ValidateNetworkKind checks that a fabric of the given kind can be built for
+// the config, without materializing one. Config validation already guarantees
+// the constructor preconditions (node count, channel capacity, geometry), so
+// only the kind itself needs checking.
+func ValidateNetworkKind(cfg Config, kind NetworkKind) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	switch kind {
+	case config.NetElectrical, config.NetOptical, config.NetIdeal, config.NetHybrid:
+		return nil
+	default:
+		return fmt.Errorf("onocsim: unknown network kind %q", kind)
+	}
+}
+
 // NetworkFactory returns a constructor for fresh fabrics of the given kind;
-// the self-correction loop uses one per iteration.
+// the self-correction loop uses one per iteration (or resets and reuses one,
+// when the fabric supports it).
 func NetworkFactory(cfg Config, kind NetworkKind) (core.NetworkFactory, error) {
-	if _, err := BuildNetwork(cfg, kind); err != nil {
+	if err := ValidateNetworkKind(cfg, kind); err != nil {
 		return nil, err
 	}
 	return func() noc.Network {
 		n, err := BuildNetwork(cfg, kind)
 		if err != nil {
-			panic("onocsim: factory build failed after successful probe: " + err.Error())
+			panic("onocsim: factory build failed after successful validation: " + err.Error())
 		}
 		return n
 	}, nil
@@ -267,49 +286,91 @@ type Study struct {
 	SCTMWall    time.Duration
 }
 
+// simSlots bounds the simulation phases running concurrently across every
+// RunStudy in the process. Each phase holds a slot for its entire timed
+// region, so per-phase wall clocks stay honest even when studies pipeline on
+// an oversubscribed host (e.g. the experiment harness fans out studies too).
+var simSlots = make(chan struct{}, runtime.NumCPU())
+
+func acquireSimSlot() { simSlots <- struct{}{} }
+func releaseSimSlot() { <-simSlots }
+
 // RunStudy executes the complete methodology comparison: capture the trace
 // on the cheap reference fabric, measure execution-driven ground truth on
 // the target, and evaluate every replay engine against it.
+//
+// The phases form a two-stage pipeline. Trace capture and execution-driven
+// ground truth are independent, so they run in parallel; the three replay
+// engines need only the captured trace, so they start as soon as capture
+// finishes — typically while the (much slower) ground-truth run is still
+// going. Every simulation is self-contained (own fabric, own RNG streams,
+// own message pools), so the results are bit-identical to the sequential
+// schedule.
 func RunStudy(cfg Config, target NetworkKind) (*Study, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := ValidateNetworkKind(cfg, target); err != nil {
 		return nil, err
 	}
-	tr, capWall, err := CaptureTrace(cfg, config.NetIdeal)
-	if err != nil {
-		return nil, fmt.Errorf("onocsim: capture: %w", err)
+	st := &Study{Workload: cfg.Workload.Kernel, Target: target}
+
+	var wg sync.WaitGroup
+	var truthErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		acquireSimSlot()
+		defer releaseSimSlot()
+		st.Truth, truthErr = RunExecutionDriven(cfg, target)
+	}()
+
+	// Capture runs on the calling goroutine: the replay engines block on it.
+	acquireSimSlot()
+	tr, capWall, capErr := CaptureTrace(cfg, config.NetIdeal)
+	releaseSimSlot()
+	if capErr != nil {
+		wg.Wait()
+		return nil, fmt.Errorf("onocsim: capture: %w", capErr)
 	}
-	truth, err := RunExecutionDriven(cfg, target)
-	if err != nil {
-		return nil, fmt.Errorf("onocsim: ground truth: %w", err)
+	st.Trace = tr
+	st.CaptureWall = capWall
+
+	var naiveErr, coupErr, sctmErr error
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		acquireSimSlot()
+		defer releaseSimSlot()
+		st.Naive, st.NaiveWall, naiveErr = RunNaiveReplay(cfg, tr, target)
+	}()
+	go func() {
+		defer wg.Done()
+		acquireSimSlot()
+		defer releaseSimSlot()
+		st.Coupled, st.CoupledWall, coupErr = RunCoupledReplay(cfg, tr, target)
+	}()
+	go func() {
+		defer wg.Done()
+		acquireSimSlot()
+		defer releaseSimSlot()
+		st.SCTM, st.SCTMWall, sctmErr = RunSelfCorrection(cfg, tr, target)
+	}()
+	wg.Wait()
+
+	if truthErr != nil {
+		return nil, fmt.Errorf("onocsim: ground truth: %w", truthErr)
 	}
-	naive, naiveWall, err := RunNaiveReplay(cfg, tr, target)
-	if err != nil {
-		return nil, fmt.Errorf("onocsim: naive replay: %w", err)
+	if naiveErr != nil {
+		return nil, fmt.Errorf("onocsim: naive replay: %w", naiveErr)
 	}
-	coupled, coupWall, err := RunCoupledReplay(cfg, tr, target)
-	if err != nil {
-		return nil, fmt.Errorf("onocsim: coupled replay: %w", err)
+	if coupErr != nil {
+		return nil, fmt.Errorf("onocsim: coupled replay: %w", coupErr)
 	}
-	sctm, sctmWall, err := RunSelfCorrection(cfg, tr, target)
-	if err != nil {
-		return nil, fmt.Errorf("onocsim: self-correction: %w", err)
+	if sctmErr != nil {
+		return nil, fmt.Errorf("onocsim: self-correction: %w", sctmErr)
 	}
-	return &Study{
-		Workload:    cfg.Workload.Kernel,
-		Target:      target,
-		Truth:       truth,
-		Trace:       tr,
-		Naive:       naive,
-		Coupled:     coupled,
-		SCTM:        sctm,
-		NaiveAcc:    Compare(naive, truth),
-		CoupAcc:     Compare(coupled, truth),
-		SCTMAcc:     Compare(sctm.Final, truth),
-		CaptureWall: capWall,
-		NaiveWall:   naiveWall,
-		CoupledWall: coupWall,
-		SCTMWall:    sctmWall,
-	}, nil
+	st.NaiveAcc = Compare(st.Naive, st.Truth)
+	st.CoupAcc = Compare(st.Coupled, st.Truth)
+	st.SCTMAcc = Compare(st.SCTM.Final, st.Truth)
+	return st, nil
 }
 
 // SaveTrace / LoadTrace round-trip the binary trace format.

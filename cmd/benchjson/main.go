@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON snapshot, optionally folding in a recorded baseline run so the file
+// carries before/after numbers and speedups side by side.
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchmem ./... | benchjson -out BENCH.json -baseline BENCH_BASELINE.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the emitted document.
+type Snapshot struct {
+	// Env echoes the goos/goarch/pkg/cpu header lines of the current run.
+	Env map[string]string `json:"env,omitempty"`
+	// Baseline holds the recorded reference run, when one was supplied.
+	Baseline map[string]Result `json:"baseline,omitempty"`
+	// Current holds the run parsed from stdin.
+	Current map[string]Result `json:"current"`
+	// Speedup is baseline ns/op divided by current ns/op, for benchmarks
+	// present in both runs.
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+}
+
+// parse reads `go test -bench` output: header key: value lines and benchmark
+// result lines ("BenchmarkName-8  20  105088199 ns/op  ... B/op  ... allocs/op").
+// Custom metrics (e.g. "5.000 rows") are ignored.
+func parse(r io.Reader) (map[string]Result, map[string]string, error) {
+	results := map[string]Result{}
+	env := map[string]string{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ": "); ok && !strings.Contains(k, " ") {
+			env[k] = v
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			val, unit := f[i], f[i+1]
+			switch unit {
+			case "ns/op":
+				res.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		if res.NsPerOp > 0 {
+			results[name] = res
+		}
+	}
+	return results, env, sc.Err()
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "optional baseline run (raw `go test -bench` text) to embed")
+	flag.Parse()
+
+	current, env, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	snap := Snapshot{Env: env, Current: current}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		snap.Baseline, _, err = parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		snap.Speedup = map[string]float64{}
+		for name, b := range snap.Baseline {
+			if c, ok := current[name]; ok && c.NsPerOp > 0 {
+				// Two decimal places: benchmark noise makes more digits lie.
+				snap.Speedup[name] = float64(int64(b.NsPerOp/c.NsPerOp*100)) / 100
+			}
+		}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), *out)
+}

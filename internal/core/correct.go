@@ -10,9 +10,37 @@ import (
 )
 
 // NetworkFactory builds a fresh instance of the target fabric. Each
-// correction iteration replays on a clean network; reusing a warmed-up
-// fabric would leak state between rounds and break reproducibility.
+// correction iteration replays on a clean network. When the fabric
+// implements noc.Resettable the loop builds it once and resets it between
+// rounds — observationally identical to a fresh build, without paying the
+// full construction (topology wiring, photonic budget) per iteration; other
+// fabrics fall back to one build per round.
 type NetworkFactory func() noc.Network
+
+// netSource hands out clean fabrics for correction rounds, reusing a single
+// Resettable instance when the fabric supports it.
+type netSource struct {
+	factory NetworkFactory
+	reused  noc.Network
+	used    bool
+}
+
+// acquire returns a fabric at time zero with no prior traffic.
+func (s *netSource) acquire() noc.Network {
+	if s.reused != nil {
+		if s.used {
+			s.reused.(noc.Resettable).Reset()
+		}
+		s.used = true
+		return s.reused
+	}
+	n := s.factory()
+	if _, ok := n.(noc.Resettable); ok {
+		s.reused = n
+		s.used = true
+	}
+	return n
+}
 
 // Iteration records the state of the correction loop after one round.
 type Iteration struct {
@@ -56,8 +84,11 @@ func SelfCorrect(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM) (Corr
 	}
 	n := len(tr.Events)
 
+	src := &netSource{factory: factory}
+
 	// Seed latencies: a fixed constant if configured, else the target
-	// fabric's zero-load estimate per message.
+	// fabric's zero-load estimate per message. The probe never ticks, so
+	// it doubles as the first round's fabric when reusable.
 	lat := make([]sim.Tick, n)
 	if cfg.InitialLatencyCycles > 0 {
 		for i := range lat {
@@ -69,12 +100,15 @@ func SelfCorrect(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM) (Corr
 			e := &tr.Events[i]
 			lat[i] = probe.ZeroLoadLatency(e.Src, e.Dst, e.Bytes)
 		}
+		if _, ok := probe.(noc.Resettable); ok {
+			src.reused = probe
+		}
 	}
 
 	var out CorrectionResult
 	prev := Schedule(tr, lat, opts)
 	for round := 0; round < cfg.MaxIterations; round++ {
-		res, err := ReplaySchedule(factory(), tr, prev)
+		res, err := ReplaySchedule(src.acquire(), tr, prev)
 		if err != nil {
 			return CorrectionResult{}, fmt.Errorf("core: correction round %d: %w", round, err)
 		}

@@ -37,8 +37,18 @@ func (r *ReplayResult) Latencies() []sim.Tick {
 	return out
 }
 
-// replayPayload tags fabric messages with their trace event index.
-type replayPayload struct{ idx int }
+// checkEventIDs verifies the dense 1-based ID invariant the replay engines
+// rely on to map a delivered message back to its trace event without
+// carrying a boxed payload. Traces produced by the recorder always satisfy
+// it; hand-built traces are caught here.
+func checkEventIDs(tr *trace.Trace) error {
+	for i := range tr.Events {
+		if tr.Events[i].ID != trace.EventID(i+1) {
+			return fmt.Errorf("core: trace event %d has id %d, want dense 1-based ids", i, tr.Events[i].ID)
+		}
+	}
+	return nil
+}
 
 // ReplaySchedule injects every trace event into net at the given absolute
 // times and runs the fabric until all are delivered. The fabric must be
@@ -53,6 +63,9 @@ func ReplaySchedule(net noc.Network, tr *trace.Trace, inject []sim.Tick) (Replay
 	if len(inject) != len(tr.Events) {
 		return ReplayResult{}, fmt.Errorf("core: %d injection times for %d events", len(inject), len(tr.Events))
 	}
+	if err := checkEventIDs(tr); err != nil {
+		return ReplayResult{}, err
+	}
 	n := len(tr.Events)
 	res := ReplayResult{
 		Inject: make([]sim.Tick, n),
@@ -63,14 +76,22 @@ func ReplaySchedule(net noc.Network, tr *trace.Trace, inject []sim.Tick) (Replay
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return inject[order[a]] < inject[order[b]] })
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if inject[ia] != inject[ib] {
+			return inject[ia] < inject[ib]
+		}
+		return ia < ib // explicit ID tiebreak: stable order without the stable-sort cost
+	})
 
+	var pool noc.MsgPool
 	delivered := 0
 	net.SetDeliver(func(m *noc.Message) {
-		idx := m.Payload.(replayPayload).idx
+		idx := int(m.ID) - 1
 		res.Arrive[idx] = m.Arrive
 		res.Inject[idx] = m.Inject
 		delivered++
+		pool.Put(m)
 	})
 
 	next := 0
@@ -79,15 +100,28 @@ func ReplaySchedule(net noc.Network, tr *trace.Trace, inject []sim.Tick) (Replay
 		for next < n && inject[order[next]] <= now {
 			i := order[next]
 			e := &tr.Events[i]
-			net.Inject(&noc.Message{
-				ID:      uint64(e.ID),
-				Src:     e.Src,
-				Dst:     e.Dst,
-				Bytes:   e.Bytes,
-				Class:   e.Class,
-				Payload: replayPayload{idx: i},
-			})
+			m := pool.Get()
+			m.ID = uint64(e.ID)
+			m.Src = e.Src
+			m.Dst = e.Dst
+			m.Bytes = e.Bytes
+			m.Class = e.Class
+			net.Inject(m)
 			next++
+		}
+		// Fast-forward to the next injection or fabric event; the cycles
+		// in between are provably idle.
+		wake := net.NextWake()
+		if next < n && inject[order[next]] < wake {
+			wake = inject[order[next]]
+		}
+		if wake == noc.Never {
+			// Nothing pending and nothing left to inject: the fabric
+			// swallowed a message.
+			return ReplayResult{}, fmt.Errorf("core: replay did not drain (%d/%d delivered)", delivered, n)
+		}
+		if wake > now+1 {
+			net.SkipTo(wake - 1)
 		}
 		net.Tick()
 		// Guard against fabric bugs swallowing messages.
@@ -146,6 +180,9 @@ func CoupledReplay(net noc.Network, tr *trace.Trace, opts ScheduleOptions) (Repl
 	if net.Nodes() != tr.Nodes {
 		return ReplayResult{}, fmt.Errorf("core: fabric has %d nodes, trace has %d", net.Nodes(), tr.Nodes)
 	}
+	if err := checkEventIDs(tr); err != nil {
+		return ReplayResult{}, err
+	}
 	n := len(tr.Events)
 	res := ReplayResult{
 		Inject: make([]sim.Tick, n),
@@ -182,12 +219,14 @@ func CoupledReplay(net noc.Network, tr *trace.Trace, opts ScheduleOptions) (Repl
 		}
 	}
 
+	var pool noc.MsgPool
 	delivered := 0
 	net.SetDeliver(func(m *noc.Message) {
-		idx := m.Payload.(replayPayload).idx
+		idx := int(m.ID) - 1
 		res.Arrive[idx] = m.Arrive
 		res.Inject[idx] = m.Inject
 		delivered++
+		pool.Put(m)
 		for _, ch := range children[idx] {
 			if m.Arrive+tr.Events[ch].Gap > lastDep[ch] {
 				lastDep[ch] = m.Arrive + tr.Events[ch].Gap
@@ -199,40 +238,44 @@ func CoupledReplay(net noc.Network, tr *trace.Trace, opts ScheduleOptions) (Repl
 		}
 	})
 
-	var stall sim.Tick
 	for delivered < n {
 		now := net.Now()
 		// Inject everything ready at or before now. Linear scan; the
 		// list stays short because injected entries are removed.
-		progressed := false
 		for i := 0; i < len(ready); {
 			if ready[i].at <= now {
 				idx := ready[i].idx
 				e := &tr.Events[idx]
-				net.Inject(&noc.Message{
-					ID:      uint64(e.ID),
-					Src:     e.Src,
-					Dst:     e.Dst,
-					Bytes:   e.Bytes,
-					Class:   e.Class,
-					Payload: replayPayload{idx: idx},
-				})
+				m := pool.Get()
+				m.ID = uint64(e.ID)
+				m.Src = e.Src
+				m.Dst = e.Dst
+				m.Bytes = e.Bytes
+				m.Class = e.Class
+				net.Inject(m)
 				ready[i] = ready[len(ready)-1]
 				ready = ready[:len(ready)-1]
-				progressed = true
 			} else {
 				i++
 			}
 		}
-		net.Tick()
-		if progressed || net.Busy() {
-			stall = 0
-		} else {
-			stall++
-			if stall > 10_000_000 {
-				return ReplayResult{}, fmt.Errorf("core: coupled replay stalled (%d/%d delivered)", delivered, n)
+		// Fast-forward: the next observable cycle is the earliest of a
+		// pending ready event and the fabric's own wake-up. If neither
+		// exists while deliveries are outstanding, the dependency graph
+		// (or the fabric) has deadlocked.
+		wake := net.NextWake()
+		for i := range ready {
+			if ready[i].at < wake {
+				wake = ready[i].at
 			}
 		}
+		if wake == noc.Never {
+			return ReplayResult{}, fmt.Errorf("core: coupled replay stalled (%d/%d delivered)", delivered, n)
+		}
+		if wake > now+1 {
+			net.SkipTo(wake - 1)
+		}
+		net.Tick()
 	}
 	finalizeResult(&res, tr, net)
 	return res, nil

@@ -112,9 +112,13 @@ type l2Line struct {
 
 func newL2Bank(sets, ways int) *l2Bank {
 	b := &l2Bank{sets: sets, ways: ways}
+	// One backing array for all sets: bank construction is on the capture
+	// hot path (every study run builds fresh systems), and per-set slices
+	// were a dominant allocation source.
 	b.tags = make([][]l2Line, sets)
+	backing := make([]l2Line, sets*ways)
 	for i := range b.tags {
-		b.tags[i] = make([]l2Line, ways)
+		b.tags[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
 	}
 	return b
 }

@@ -61,9 +61,12 @@ func newL1(sets, ways, lineBytes int) *l1Cache {
 		panic(fmt.Sprintf("cpu: line bytes=%d must be a power of two", lineBytes))
 	}
 	c := &l1Cache{sets: sets, ways: ways, lineBits: lb}
+	// Single backing array, same trick as newL2Bank: cache construction
+	// recurs on every captured system, so per-set slices add up.
 	c.lines = make([][]l1Line, sets)
+	backing := make([]l1Line, sets*ways)
 	for i := range c.lines {
-		c.lines[i] = make([]l1Line, ways)
+		c.lines[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
 	}
 	return c
 }

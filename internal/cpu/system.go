@@ -25,6 +25,14 @@ type System struct {
 	msgID uint64
 
 	inbox []arrivedMsg
+	// inboxSpare is the second half of the inbox double buffer: tick
+	// swaps it in before dispatching so the in-flight batch is never
+	// aliased, and both backing arrays are recycled for the whole run.
+	inboxSpare []arrivedMsg
+	// pool recycles fabric messages: a Message dies in onDeliver as soon
+	// as its fields are copied into the inbox, so steady state re-injects
+	// the same handful of allocations.
+	pool noc.MsgPool
 	// eng schedules delayed bank responses: the bank occupancy model is
 	// a small discrete-event simulation riding on the synchronous tick
 	// loop (RunUntil flushes the events due each cycle).
@@ -97,14 +105,14 @@ func (s *System) inject(src, dst int, pm *protoMsg, deps []trace.Dep, depTime si
 		})
 	}
 	s.msgID++
-	s.net.Inject(&noc.Message{
-		ID:      s.msgID,
-		Src:     src,
-		Dst:     dst,
-		Bytes:   s.bytesFor(pm),
-		Class:   pm.class(),
-		Payload: pm,
-	})
+	m := s.pool.Get()
+	m.ID = s.msgID
+	m.Src = src
+	m.Dst = dst
+	m.Bytes = s.bytesFor(pm)
+	m.Class = pm.class()
+	m.Payload = pm
+	s.net.Inject(m)
 }
 
 // send schedules a message after a service delay (bank responses).
@@ -139,12 +147,15 @@ func (s *System) sendFromCoreTo(c *core, dst int, pm *protoMsg, deps []trace.Dep
 
 // onDeliver collects fabric deliveries; they are dispatched after the
 // fabric tick completes so handler-triggered sends see a settled cycle.
+// The fabric holds no reference to m after this returns, so the message
+// goes straight back to the pool.
 func (s *System) onDeliver(m *noc.Message) {
 	pm, ok := m.Payload.(*protoMsg)
 	if !ok {
 		panic(fmt.Sprintf("cpu: delivery %d carries foreign payload %T", m.ID, m.Payload))
 	}
 	s.inbox = append(s.inbox, arrivedMsg{msg: pm, dst: m.Dst, at: m.Arrive})
+	s.pool.Put(m)
 }
 
 // tick advances the whole chip one cycle.
@@ -152,10 +163,13 @@ func (s *System) tick() {
 	s.net.Tick()
 	s.now = s.net.Now()
 
-	// Dispatch deliveries in fabric order.
+	// Dispatch deliveries in fabric order. The inbox double buffer keeps
+	// the in-flight batch unaliased while recycling both backing arrays:
+	// the old `inbox[len(inbox):]` re-slice stranded the consumed prefix
+	// and forced a fresh allocation every burst.
 	if len(s.inbox) > 0 {
 		batch := s.inbox
-		s.inbox = s.inbox[len(s.inbox):]
+		s.inbox = s.inboxSpare[:0]
 		for _, am := range batch {
 			if s.rec != nil && am.msg.traceID != trace.None {
 				s.rec.RecordArrive(am.msg.traceID, am.at)
@@ -168,6 +182,10 @@ func (s *System) tick() {
 				s.cores[am.dst].handle(am)
 			}
 		}
+		// Recycle the consumed batch as the next spare. Deliveries only
+		// happen inside net.Tick, so nothing was appended to the fresh
+		// inbox while the batch was being dispatched.
+		s.inboxSpare = batch[:0]
 	}
 
 	// Flush bank responses whose service delay expired.
@@ -191,9 +209,44 @@ type RunResult struct {
 	Messages uint64
 }
 
+// nextWake returns the earliest future cycle at which any chip component
+// could do observable work: a running core reaching busyUntil, a pending
+// bank-response event, or the fabric's own wake-up. Blocked cores are woken
+// exclusively by deliveries, which the fabric/engine terms already cover.
+// Cycles strictly before the returned value are provably no-ops.
+func (s *System) nextWake() sim.Tick {
+	if len(s.inbox) > 0 {
+		return s.now + 1
+	}
+	// Scan the cores first: on a busy chip some core is almost always due
+	// next cycle, and the early-out then spares the fabric's (potentially
+	// channel-scanning) NextWake entirely.
+	wake := noc.Never
+	for _, c := range s.cores {
+		if c.state != coreRunning {
+			continue
+		}
+		if c.busyUntil <= s.now+1 {
+			return s.now + 1
+		}
+		if c.busyUntil < wake {
+			wake = c.busyUntil
+		}
+	}
+	if at, ok := s.eng.NextAt(); ok && at < wake {
+		wake = at
+	}
+	if nw := s.net.NextWake(); nw < wake {
+		wake = nw
+	}
+	return wake
+}
+
 // Run drives the system until every core finishes and the fabric drains,
 // or errors out at the cycle bound (indicating livelock or an undersized
-// bound).
+// bound). Provably idle stretches — all cores blocked or mid-compute,
+// nothing due in the fabric or the bank engine — are fast-forwarded without
+// changing any observable timing.
 func (s *System) Run(maxCycles int64) (RunResult, error) {
 	bound := sim.Tick(maxCycles)
 	for {
@@ -203,6 +256,14 @@ func (s *System) Run(maxCycles int64) (RunResult, error) {
 		}
 		if s.now >= bound {
 			return RunResult{}, fmt.Errorf("cpu: simulation exceeded %d cycles (cores: %s)", maxCycles, s.coreStates())
+		}
+		if wake := s.nextWake(); wake > s.now+1 {
+			target := wake - 1
+			if target > bound {
+				target = bound // keep the livelock bound cycle-accurate
+			}
+			s.net.SkipTo(target)
+			s.now = target
 		}
 	}
 	var makespan sim.Tick

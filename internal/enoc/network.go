@@ -29,6 +29,36 @@ type Network struct {
 	// inflight counts injected-but-undelivered packets (including
 	// self-messages) for Busy.
 	inflight int
+
+	// pktFree/flitFree recycle the per-message wormhole state: a packet
+	// and its flits die at ejection and are reborn at the next Inject,
+	// so a steady-state run allocates almost nothing per message.
+	pktFree  []*packet
+	flitFree []*flit
+}
+
+// newPacket returns a recycled or fresh packet wrapping m.
+func (n *Network) newPacket(m *noc.Message) *packet {
+	if l := len(n.pktFree); l > 0 {
+		p := n.pktFree[l-1]
+		n.pktFree[l-1] = nil
+		n.pktFree = n.pktFree[:l-1]
+		*p = packet{msg: m, nflits: flitsFor(m.Bytes, n.cfg.FlitBytes)}
+		return p
+	}
+	return &packet{msg: m, nflits: flitsFor(m.Bytes, n.cfg.FlitBytes)}
+}
+
+// newFlit returns a recycled or fresh flit.
+func (n *Network) newFlit() *flit {
+	if l := len(n.flitFree); l > 0 {
+		f := n.flitFree[l-1]
+		n.flitFree[l-1] = nil
+		n.flitFree = n.flitFree[:l-1]
+		*f = flit{}
+		return f
+	}
+	return &flit{}
 }
 
 type selfMsg struct {
@@ -113,8 +143,7 @@ func (n *Network) Inject(m *noc.Message) {
 		n.selfQ = append(n.selfQ, selfMsg{at: n.now + 1, msg: m})
 		return
 	}
-	p := &packet{msg: m, nflits: flitsFor(m.Bytes, n.cfg.FlitBytes)}
-	n.nis[m.Src].enqueue(p)
+	n.nis[m.Src].enqueue(n.newPacket(m))
 }
 
 // Tick implements noc.Network: link drain, then allocation, then injection,
@@ -150,19 +179,24 @@ func (n *Network) Tick() {
 	}
 }
 
-// eject is called by a router's local port as flits complete.
+// eject is called by a router's local port as flits complete. Ejected flits
+// (and, on tail, the packet) return to the fabric free lists.
 func (n *Network) eject(node int, f *flit) {
 	if !f.isTail {
+		n.flitFree = append(n.flitFree, f)
 		return
 	}
-	m := f.pkt.msg
+	p := f.pkt
+	n.flitFree = append(n.flitFree, f)
+	m := p.msg
 	if node != m.Dst {
 		panic(fmt.Sprintf("enoc: message %d ejected at %d, expected %d", m.ID, node, m.Dst))
 	}
 	m.Arrive = n.now
 	n.stats.RecordDelivery(m)
-	n.stats.HopCount.Add(float64(f.pkt.hops))
-	n.stats.QueueDelay.Add(float64(f.pkt.enterNI - m.Inject))
+	n.stats.HopCount.Add(float64(p.hops))
+	n.stats.QueueDelay.Add(float64(p.enterNI - m.Inject))
+	n.pktFree = append(n.pktFree, p)
 	n.inflight--
 	if n.deliver != nil {
 		n.deliver(m)
@@ -171,6 +205,77 @@ func (n *Network) eject(node int, f *flit) {
 
 // Busy implements noc.Network.
 func (n *Network) Busy() bool { return n.inflight > 0 }
+
+// NextWake implements noc.Network. With flits in routers or NIs the mesh
+// does observable work every cycle, so the only skippable states are a
+// fully drained fabric and one where the sole survivors are self-messages
+// awaiting their fixed loopback delivery.
+func (n *Network) NextWake() sim.Tick {
+	if n.inflight == 0 {
+		return noc.Never
+	}
+	if n.inflight == len(n.selfQ) {
+		wake := noc.Never
+		for _, s := range n.selfQ {
+			if s.at < wake {
+				wake = s.at
+			}
+		}
+		return wake
+	}
+	return n.now + 1
+}
+
+// SkipTo implements noc.Network. In the skippable states (see NextWake) no
+// router, link or NI holds live work, and all remaining state — self-queue
+// delivery times, flit readyAt stamps — is kept in absolute cycles, so the
+// skip is a pure clock jump.
+func (n *Network) SkipTo(t sim.Tick) {
+	if t > n.now {
+		n.now = t
+	}
+}
+
+// Reset implements noc.Resettable: clocks, statistics, power counters,
+// queues, buffers, credits and arbitration pointers all return to their
+// constructor values. The packet/flit free lists survive — they hold only
+// dead state and are the point of reusing the fabric.
+func (n *Network) Reset() {
+	n.now = 0
+	n.stats = noc.NewStats()
+	n.power = powerCounters{}
+	n.selfQ = n.selfQ[:0]
+	n.inflight = 0
+	depth := n.cfg.BufDepth
+	for _, r := range n.routers {
+		for p := 0; p < numPorts; p++ {
+			for v := range r.in[p] {
+				b := &r.in[p][v]
+				b.q = b.q[:0]
+				b.owner = nil
+				b.routed = false
+				b.granted = false
+			}
+			for v := range r.outCredit[p] {
+				r.outCredit[p][v] = depth
+				r.outBusy[p][v] = false
+			}
+			if l := r.outLink[p]; l != nil {
+				l.inflight = l.inflight[:0]
+			}
+			r.rr[p] = 0
+		}
+		r.occupancy = 0
+		r.linkLoad = 0
+	}
+	for _, ni := range n.nis {
+		for c := range ni.classQ {
+			ni.classQ[c] = ni.classQ[c][:0]
+			ni.sending[c] = sendState{}
+		}
+		ni.rr = 0
+	}
+}
 
 // ZeroLoadLatency implements noc.Network: per-hop pipeline plus wire delay
 // plus serialization, with one cycle of injection overhead.
@@ -207,11 +312,13 @@ type netIface struct {
 	node    int
 	net     *Network
 	classQ  [noc.NumClasses][]*packet
-	sending [noc.NumClasses]*sendState
+	sending [noc.NumClasses]sendState
 	rr      int
 }
 
-// sendState tracks an in-progress packet injection.
+// sendState tracks an in-progress packet injection; pkt == nil means idle.
+// Stored by value inside the interface so starting a packet allocates
+// nothing.
 type sendState struct {
 	pkt  *packet
 	vc   int
@@ -241,8 +348,8 @@ func (ni *netIface) tryInject() {
 
 // injectClass attempts one flit for class c; reports whether a flit moved.
 func (ni *netIface) injectClass(r *router, c noc.Class) bool {
-	st := ni.sending[c]
-	if st == nil {
+	st := &ni.sending[c]
+	if st.pkt == nil {
 		if len(ni.classQ[c]) == 0 {
 			return false
 		}
@@ -259,25 +366,24 @@ func (ni *netIface) injectClass(r *router, c noc.Class) bool {
 			return false
 		}
 		p := ni.classQ[c][0]
+		ni.classQ[c][0] = nil
 		ni.classQ[c] = ni.classQ[c][1:]
 		p.enterNI = ni.net.now
-		st = &sendState{pkt: p, vc: vc}
-		ni.sending[c] = st
+		*st = sendState{pkt: p, vc: vc}
 	}
 	b := &r.in[portLocal][st.vc]
 	if len(b.q) >= ni.net.cfg.BufDepth {
 		return false
 	}
-	f := &flit{
-		pkt:    st.pkt,
-		idx:    st.next,
-		isHead: st.next == 0,
-		isTail: st.next == st.pkt.nflits-1,
-	}
+	f := ni.net.newFlit()
+	f.pkt = st.pkt
+	f.idx = st.next
+	f.isHead = st.next == 0
+	f.isTail = st.next == st.pkt.nflits-1
 	r.acceptFlit(portLocal, st.vc, f)
 	st.next++
 	if st.next == st.pkt.nflits {
-		ni.sending[c] = nil
+		st.pkt = nil
 	}
 	return true
 }

@@ -125,6 +125,32 @@ func (n *Network) Tick() {
 // Busy implements noc.Network.
 func (n *Network) Busy() bool { return n.mesh.Busy() || n.optical.Busy() }
 
+// NextWake implements noc.Network: the earlier of the two sub-fabrics'
+// wake-ups, since Tick advances both in lockstep.
+func (n *Network) NextWake() sim.Tick {
+	wake := n.mesh.NextWake()
+	if o := n.optical.NextWake(); o < wake {
+		wake = o
+	}
+	return wake
+}
+
+// SkipTo implements noc.Network. Both sub-fabrics share the clock, and t is
+// below the combined NextWake, hence below each sub-fabric's own.
+func (n *Network) SkipTo(t sim.Tick) {
+	n.mesh.SkipTo(t)
+	n.optical.SkipTo(t)
+}
+
+// Reset implements noc.Resettable.
+func (n *Network) Reset() {
+	n.mesh.Reset()
+	n.optical.(noc.Resettable).Reset()
+	n.stats = noc.NewStats()
+	n.ViaMesh = 0
+	n.ViaOptical = 0
+}
+
 // ZeroLoadLatency implements noc.Network, following the routing decision.
 func (n *Network) ZeroLoadLatency(src, dst, bytes int) sim.Tick {
 	if src != dst && n.distance(src, dst) >= n.threshold {

@@ -1,7 +1,6 @@
 package noc
 
 import (
-	"container/heap"
 	"fmt"
 
 	"onocsim/internal/sim"
@@ -32,23 +31,54 @@ type pendingDelivery struct {
 	msg *Message
 }
 
+// deliveryHeap is a value-based 4-ary min-heap ordered by (at, seq); like
+// the sim engine it avoids container/heap's per-operation interface boxing.
 type deliveryHeap []pendingDelivery
 
-func (h deliveryHeap) Len() int { return len(h) }
-func (h deliveryHeap) Less(i, j int) bool {
+func (h deliveryHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h deliveryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *deliveryHeap) Push(x interface{}) { *h = append(*h, x.(pendingDelivery)) }
-func (h *deliveryHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+
+func (h *deliveryHeap) push(d pendingDelivery) {
+	q := append(*h, d)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *deliveryHeap) pop() pendingDelivery {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = pendingDelivery{} // release the message reference
+	q = q[:n]
+	i := 0
+	for {
+		best := i
+		for k := 4*i + 1; k <= 4*i+4 && k < n; k++ {
+			if q.less(k, best) {
+				best = k
+			}
+		}
+		if best == i {
+			break
+		}
+		q[i], q[best] = q[best], q[i]
+		i = best
+	}
+	*h = q
+	return top
 }
 
 // NewIdeal builds an ideal network over the given number of nodes with the
@@ -106,14 +136,14 @@ func (n *Ideal) Inject(m *Message) {
 	if m.Src == m.Dst {
 		at = n.now + 1
 	}
-	heap.Push(&n.inflight, pendingDelivery{at: at, seq: uint64(n.stats.Injected), msg: m})
+	n.inflight.push(pendingDelivery{at: at, seq: uint64(n.stats.Injected), msg: m})
 }
 
 // Tick implements Network.
 func (n *Ideal) Tick() {
 	n.now++
 	for len(n.inflight) > 0 && n.inflight[0].at <= n.now {
-		d := heap.Pop(&n.inflight).(pendingDelivery)
+		d := n.inflight.pop()
 		d.msg.Arrive = n.now
 		n.stats.RecordDelivery(d.msg)
 		n.stats.HopCount.Add(1)
@@ -125,6 +155,33 @@ func (n *Ideal) Tick() {
 
 // Busy implements Network.
 func (n *Ideal) Busy() bool { return len(n.inflight) > 0 }
+
+// NextWake implements Network: the earliest pending delivery, or Never when
+// drained. The fixed-latency model does no other per-cycle work.
+func (n *Ideal) NextWake() sim.Tick {
+	if len(n.inflight) == 0 {
+		return Never
+	}
+	return n.inflight[0].at
+}
+
+// SkipTo implements Network. All internal state (nextFree, delivery times)
+// is kept in absolute cycles, so skipping is a pure clock jump.
+func (n *Ideal) SkipTo(t sim.Tick) {
+	if t > n.now {
+		n.now = t
+	}
+}
+
+// Reset implements Resettable: back to the just-constructed state.
+func (n *Ideal) Reset() {
+	n.now = 0
+	n.stats = NewStats()
+	for i := range n.nextFree {
+		n.nextFree[i] = 0
+	}
+	n.inflight = n.inflight[:0]
+}
 
 // ZeroLoadLatency implements Network.
 func (n *Ideal) ZeroLoadLatency(src, dst, bytes int) sim.Tick {

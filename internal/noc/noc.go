@@ -67,7 +67,15 @@ type Message struct {
 func (m *Message) Latency() sim.Tick { return m.Arrive - m.Inject }
 
 // DeliverFunc receives a message at its destination node.
+//
+// Ownership: the fabric guarantees it holds no reference to m after the
+// callback returns, so the receiver may recycle the Message (see MsgPool)
+// once it has copied out what it needs.
 type DeliverFunc func(m *Message)
+
+// Never is the NextWake sentinel meaning "no observable work pending": the
+// fabric will stay silent forever unless something new is injected.
+const Never = sim.Tick(1) << 62
 
 // Network is the fabric contract.
 type Network interface {
@@ -95,6 +103,79 @@ type Network interface {
 	ZeroLoadLatency(src, dst, bytes int) sim.Tick
 	// PowerReport resolves the power model over an elapsed window.
 	PowerReport(elapsed sim.Tick, clockGHz float64) PowerReport
+	// NextWake returns the earliest future cycle at which the fabric
+	// could perform observable work — deliver a message, move a flit,
+	// start a transmission — assuming nothing new is injected. It returns
+	// Never when the fabric is fully drained, and Now()+1 whenever it
+	// cannot cheaply bound the next action. The invariant owners rely on:
+	// every Tick strictly before NextWake is observationally a no-op, so
+	// the stretch may be skipped with SkipTo.
+	NextWake() sim.Tick
+	// SkipTo fast-forwards the fabric clock to cycle t without ticking
+	// the cycles in between. The caller must guarantee Now() ≤ t <
+	// NextWake(); the fabric updates any time-dependent internal state
+	// (e.g. arbitration token positions) analytically so that subsequent
+	// Ticks behave exactly as if each skipped cycle had been ticked.
+	SkipTo(t sim.Tick)
+}
+
+// Resettable is implemented by fabrics that can return to their
+// just-constructed state, letting owners reuse one network across
+// independent runs instead of rebuilding it. Reset must restore the clock
+// to zero, drop all queued and in-flight traffic, zero every statistic and
+// power counter, and re-arm arbitration state (token positions, credits,
+// round-robin pointers) to the constructor values. The delivery callback
+// is deliberately left in place; callers that need a different sink call
+// SetDeliver again.
+type Resettable interface {
+	Reset()
+}
+
+// SkipIdle advances net to cycle target using NextWake/SkipTo: stretches
+// the fabric provably sleeps through are jumped in O(1), cycles with work
+// are ticked normally. It is the drain-loop helper shared by the replay
+// engines and the synthetic harness.
+func SkipIdle(net Network, target sim.Tick) {
+	for net.Now() < target {
+		if wake := net.NextWake(); wake > net.Now()+1 {
+			if wake > target {
+				wake = target + 1
+			}
+			net.SkipTo(wake - 1)
+			if net.Now() >= target {
+				return
+			}
+		}
+		net.Tick()
+	}
+}
+
+// MsgPool recycles Message allocations inside one goroutine-confined
+// simulation. Producers Get a zeroed message, fill it and Inject it; once
+// the delivery callback has copied out what it needs it may Put the message
+// back. It is deliberately not safe for concurrent use — simulations are
+// single-goroutine by design, and a sync.Pool would add contention and
+// nondeterministic reuse for nothing.
+type MsgPool struct {
+	free []*Message
+}
+
+// Get returns a zeroed message, recycled when possible.
+func (p *MsgPool) Get() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*m = Message{}
+		return m
+	}
+	return &Message{}
+}
+
+// Put returns a delivered message to the pool. The caller must not touch m
+// afterwards.
+func (p *MsgPool) Put(m *Message) {
+	p.free = append(p.free, m)
 }
 
 // Stats aggregates the counters every fabric maintains.

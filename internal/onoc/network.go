@@ -12,7 +12,6 @@
 package onoc
 
 import (
-	"container/heap"
 	"fmt"
 
 	"onocsim/internal/config"
@@ -20,6 +19,40 @@ import (
 	"onocsim/internal/photonics"
 	"onocsim/internal/sim"
 )
+
+// serTable memoizes payload-size → channel-occupancy conversions. Protocol
+// traffic uses a handful of distinct sizes, so the per-transmission float
+// division folds into a table lookup.
+type serTable struct {
+	// bitsPerCycle is the aggregate capacity of one channel.
+	bitsPerCycle float64
+	tab          []sim.Tick
+}
+
+func (t *serTable) cycles(bytes int) sim.Tick {
+	if bytes >= 0 && bytes < len(t.tab) {
+		if c := t.tab[bytes]; c > 0 {
+			return c
+		}
+	}
+	bits := float64(bytes) * 8
+	c := sim.Tick(bits / t.bitsPerCycle)
+	if float64(c)*t.bitsPerCycle < bits {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	if bytes >= 0 && bytes < 1<<16 {
+		if bytes >= len(t.tab) {
+			grown := make([]sim.Tick, bytes+1)
+			copy(grown, t.tab)
+			t.tab = grown
+		}
+		t.tab[bytes] = c
+	}
+	return c
+}
 
 // Network is the optical crossbar fabric. It implements noc.Network.
 type Network struct {
@@ -30,10 +63,13 @@ type Network struct {
 	deliver noc.DeliverFunc
 	stats   *noc.Stats
 
-	// bitsPerCycle is the aggregate capacity of one home channel.
-	bitsPerCycle float64
+	ser serTable
 
 	channels []*channel
+	// active lists the channels with queued senders in ascending dst order,
+	// so Tick steps exactly the channels a full scan would have, in the same
+	// order, without touching the (mostly idle) rest.
+	active   []*channel
 	arrivals arrivalHeap
 	seq      uint64
 	inflight int
@@ -48,11 +84,42 @@ type Network struct {
 	// fabric "hops" means cycles spent waiting for the channel token.
 }
 
+// srcQueue is a FIFO of messages from one source. Popping advances a head
+// index instead of re-slicing, so the backing array keeps its capacity and
+// steady-state traffic stops allocating.
+type srcQueue struct {
+	buf  []*noc.Message
+	head int
+}
+
+func (q *srcQueue) push(m *noc.Message) { q.buf = append(q.buf, m) }
+
+func (q *srcQueue) empty() bool { return q.head == len(q.buf) }
+
+func (q *srcQueue) pop() *noc.Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m
+}
+
+func (q *srcQueue) reset() {
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
 // channel is the home channel of one destination node.
 type channel struct {
 	dst int
 	// queues[src] holds messages from src awaiting the token.
-	queues [][]*pending
+	queues []srcQueue
 	queued int
 	// tokenPos is the node currently able to grab the token.
 	tokenPos int
@@ -64,33 +131,61 @@ type channel struct {
 	holdCount int
 }
 
-type pending struct {
-	msg *noc.Message
-}
-
 type arrival struct {
 	at  sim.Tick
 	seq uint64
 	msg *noc.Message
 }
 
+// arrivalHeap is a value-based 4-ary min-heap ordered by (at, seq). Like the
+// sim engine it avoids container/heap, whose interface{} crossings boxed an
+// allocation onto every push and pop — the dominant cost of the optical Tick.
 type arrivalHeap []arrival
 
-func (h arrivalHeap) Len() int { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool {
+func (h arrivalHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
-func (h *arrivalHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+
+func (h *arrivalHeap) push(a arrival) {
+	q := append(*h, a)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *arrivalHeap) pop() arrival {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = arrival{} // release the message reference
+	q = q[:n]
+	i := 0
+	for {
+		best := i
+		for k := 4*i + 1; k <= 4*i+4 && k < n; k++ {
+			if q.less(k, best) {
+				best = k
+			}
+		}
+		if best == i {
+			break
+		}
+		q[i], q[best] = q[best], q[i]
+		i = best
+	}
+	*h = q
+	return top
 }
 
 // New builds the crossbar for the given node count.
@@ -103,11 +198,11 @@ func New(nodes int, cfg config.Optical) *Network {
 		panic("onoc: non-positive channel capacity")
 	}
 	n := &Network{
-		cfg:          cfg,
-		nodes:        nodes,
-		stats:        noc.NewStats(),
-		bitsPerCycle: bpc,
-		devices:      photonics.DefaultDeviceParams(),
+		cfg:     cfg,
+		nodes:   nodes,
+		stats:   noc.NewStats(),
+		ser:     serTable{bitsPerCycle: bpc},
+		devices: photonics.DefaultDeviceParams(),
 	}
 	budget, err := photonics.ComputeBudget(n.devices, photonics.CrossbarGeometry{
 		Nodes:                 nodes,
@@ -121,7 +216,7 @@ func New(nodes int, cfg config.Optical) *Network {
 	n.channels = make([]*channel, nodes)
 	for d := 0; d < nodes; d++ {
 		ch := &channel{dst: d, tokenPos: (d + 1) % nodes}
-		ch.queues = make([][]*pending, nodes)
+		ch.queues = make([]srcQueue, nodes)
 		n.channels[d] = ch
 	}
 	return n
@@ -145,15 +240,7 @@ func (n *Network) Budget() photonics.Budget { return n.budget }
 
 // SerializationCycles returns the channel occupancy of a payload.
 func (n *Network) SerializationCycles(bytes int) sim.Tick {
-	bits := float64(bytes) * 8
-	c := sim.Tick(bits / n.bitsPerCycle)
-	if float64(c)*n.bitsPerCycle < bits {
-		c++
-	}
-	if c < 1 {
-		c = 1
-	}
-	return c
+	return n.ser.cycles(bytes)
 }
 
 // propagation returns the light travel time from src to the channel reader
@@ -167,6 +254,29 @@ func (n *Network) propagation(src, dst int) sim.Tick {
 	return p
 }
 
+// catchUp replays an idle channel's token circulation since it last carried
+// queued traffic, in closed form. Channels with no queued senders are
+// skipped by Tick entirely; their hop trajectory — one hop every
+// max(TokenHopCycles, 1) cycles starting at max(tokenReady, 1) — is
+// reconstructed here the moment the channel matters again.
+func (n *Network) catchUp(ch *channel) {
+	first := ch.tokenReady
+	if first < 1 {
+		first = 1
+	}
+	if first > n.now {
+		return
+	}
+	period := sim.Tick(n.cfg.TokenHopCycles)
+	if period < 1 {
+		period = 1
+	}
+	steps := (n.now-first)/period + 1
+	ch.tokenPos = (ch.tokenPos + int(steps%sim.Tick(n.nodes))) % n.nodes
+	ch.holdCount = 0
+	ch.tokenReady = first + (steps-1)*period + sim.Tick(n.cfg.TokenHopCycles)
+}
+
 // Inject implements noc.Network.
 func (n *Network) Inject(m *noc.Message) {
 	if m.Src < 0 || m.Src >= n.nodes || m.Dst < 0 || m.Dst >= n.nodes {
@@ -177,12 +287,29 @@ func (n *Network) Inject(m *noc.Message) {
 	n.inflight++
 	if m.Src == m.Dst {
 		n.seq++
-		heap.Push(&n.arrivals, arrival{at: n.now + 1, seq: n.seq, msg: m})
+		n.arrivals.push(arrival{at: n.now + 1, seq: n.seq, msg: m})
 		return
 	}
 	ch := n.channels[m.Dst]
-	ch.queues[m.Src] = append(ch.queues[m.Src], &pending{msg: m})
+	if ch.queued == 0 {
+		n.catchUp(ch)
+		n.insertActive(ch)
+	}
+	ch.queues[m.Src].push(m)
 	ch.queued++
+}
+
+// insertActive adds a newly-queued channel to the active list, keeping it
+// sorted by dst. The list is short under realistic load, so a linear shift
+// beats any cleverer structure.
+func (n *Network) insertActive(ch *channel) {
+	i := len(n.active)
+	for i > 0 && n.active[i-1].dst > ch.dst {
+		i--
+	}
+	n.active = append(n.active, nil)
+	copy(n.active[i+1:], n.active[i:])
+	n.active[i] = ch
 }
 
 // Tick implements noc.Network: deliver due arrivals, then advance every
@@ -190,7 +317,7 @@ func (n *Network) Inject(m *noc.Message) {
 func (n *Network) Tick() {
 	n.now++
 	for len(n.arrivals) > 0 && n.arrivals[0].at <= n.now {
-		a := heap.Pop(&n.arrivals).(arrival)
+		a := n.arrivals.pop()
 		a.msg.Arrive = n.now
 		n.stats.RecordDelivery(a.msg)
 		n.inflight--
@@ -198,8 +325,22 @@ func (n *Network) Tick() {
 			n.deliver(a.msg)
 		}
 	}
-	for _, ch := range n.channels {
-		n.stepChannel(ch)
+	// Idle channels circulate their token lazily (see catchUp); only the
+	// active list does per-cycle work. Channels drained by stepChannel are
+	// compacted out in place.
+	if len(n.active) > 0 {
+		w := 0
+		for _, ch := range n.active {
+			n.stepChannel(ch)
+			if ch.queued > 0 {
+				n.active[w] = ch
+				w++
+			}
+		}
+		for i := w; i < len(n.active); i++ {
+			n.active[i] = nil
+		}
+		n.active = n.active[:w]
 	}
 }
 
@@ -209,13 +350,11 @@ func (n *Network) stepChannel(ch *channel) {
 	if ch.tokenReady > n.now {
 		return // token in flight or channel transmitting
 	}
-	q := ch.queues[ch.tokenPos]
-	if len(q) > 0 && ch.holdCount < n.cfg.MaxTokenHold {
-		p := q[0]
-		ch.queues[ch.tokenPos] = q[1:]
+	q := &ch.queues[ch.tokenPos]
+	if !q.empty() && ch.holdCount < n.cfg.MaxTokenHold {
+		m := q.pop()
 		ch.queued--
 		ch.holdCount++
-		m := p.msg
 		ser := n.SerializationCycles(m.Bytes)
 		oe := sim.Tick(n.cfg.OEOverheadCycles)
 		prop := n.propagation(m.Src, m.Dst)
@@ -223,7 +362,7 @@ func (n *Network) stepChannel(ch *channel) {
 		n.stats.QueueDelay.Add(float64(n.now - m.Inject))
 		arriveAt := n.now + oe + ser + prop
 		n.seq++
-		heap.Push(&n.arrivals, arrival{at: arriveAt, seq: n.seq, msg: m})
+		n.arrivals.push(arrival{at: arriveAt, seq: n.seq, msg: m})
 		n.bitsSent += uint64(m.Bytes) * 8
 		n.grabs++
 		// The channel is occupied for the serialization period; the
@@ -239,6 +378,90 @@ func (n *Network) stepChannel(ch *channel) {
 
 // Busy implements noc.Network.
 func (n *Network) Busy() bool { return n.inflight > 0 }
+
+// NextWake implements noc.Network. An active channel next acts (transmits or
+// hops) at tokenReady — which every state transition leaves strictly in the
+// future — so the fabric's next event is the earliest of that and the first
+// pending arrival. Cycles in between are spent on light propagation, channel
+// serialization, or token flight: provably unobservable. Idle token
+// circulation is also unobservable — catchUp and SkipTo reproduce it
+// analytically.
+func (n *Network) NextWake() sim.Tick {
+	wake := noc.Never
+	if len(n.arrivals) > 0 {
+		wake = n.arrivals[0].at
+	}
+	next := n.now + 1
+	for _, ch := range n.active {
+		if ch.tokenReady <= next {
+			return next
+		}
+		if ch.tokenReady < wake {
+			wake = ch.tokenReady
+		}
+	}
+	return wake
+}
+
+// SkipTo implements noc.Network: jump the clock and advance every active
+// channel's arbitration token exactly as the skipped Ticks would have, in
+// closed form. t is below NextWake, so no transmission starts in the skipped
+// stretch and any channel action is a hop: one every max(TokenHopCycles, 1)
+// cycles starting at max(tokenReady, now+1), holdCount reset by the first.
+// (With NextWake bounding t below every active tokenReady the loop body is
+// all continues; it is kept general so SkipTo is safe for any t < NextWake
+// an implementation revision might permit.) Idle channels are untouched —
+// they circulate lazily via catchUp.
+func (n *Network) SkipTo(t sim.Tick) {
+	if t <= n.now {
+		return
+	}
+	period := sim.Tick(n.cfg.TokenHopCycles)
+	if period < 1 {
+		period = 1
+	}
+	for _, ch := range n.active {
+		first := ch.tokenReady
+		if first < n.now+1 {
+			first = n.now + 1
+		}
+		if first > t {
+			continue // token still in flight at t
+		}
+		steps := (t-first)/period + 1
+		ch.tokenPos = (ch.tokenPos + int(steps%sim.Tick(n.nodes))) % n.nodes
+		ch.holdCount = 0
+		last := first + (steps-1)*period
+		ch.tokenReady = last + sim.Tick(n.cfg.TokenHopCycles)
+	}
+	n.now = t
+}
+
+// Reset implements noc.Resettable: clock, statistics, queues, arrivals,
+// token state and energy counters return to constructor values; the static
+// photonic budget is untouched (it depends only on geometry).
+func (n *Network) Reset() {
+	n.now = 0
+	n.stats = noc.NewStats()
+	n.arrivals = n.arrivals[:0]
+	for i := range n.active {
+		n.active[i] = nil
+	}
+	n.active = n.active[:0]
+	n.seq = 0
+	n.inflight = 0
+	n.bitsSent = 0
+	n.grabs = 0
+	for d, ch := range n.channels {
+		for s := range ch.queues {
+			ch.queues[s].reset()
+		}
+		ch.queued = 0
+		ch.tokenPos = (d + 1) % n.nodes
+		ch.tokenReady = 0
+		ch.holdCount = 0
+	}
+}
 
 // ZeroLoadLatency implements noc.Network: expected token wait (half a
 // circulation at zero load) plus O/E overhead, serialization and mean

@@ -1,7 +1,6 @@
 package onoc
 
 import (
-	"container/heap"
 	"fmt"
 
 	"onocsim/internal/config"
@@ -25,12 +24,12 @@ type SWMR struct {
 	deliver noc.DeliverFunc
 	stats   *noc.Stats
 
-	bitsPerCycle float64
+	ser serTable
 
 	// chanFree[s] is the first cycle node s's send channel is free.
 	chanFree []sim.Tick
 	// queues[s] holds messages awaiting the channel, FIFO.
-	queues   [][]*noc.Message
+	queues   []srcQueue
 	arrivals arrivalHeap
 	seq      uint64
 	inflight int
@@ -51,13 +50,13 @@ func NewSWMR(nodes int, cfg config.Optical) *SWMR {
 		panic("onoc: non-positive channel capacity")
 	}
 	n := &SWMR{
-		cfg:          cfg,
-		nodes:        nodes,
-		stats:        noc.NewStats(),
-		bitsPerCycle: bpc,
-		devices:      photonics.DefaultDeviceParams(),
-		chanFree:     make([]sim.Tick, nodes),
-		queues:       make([][]*noc.Message, nodes),
+		cfg:      cfg,
+		nodes:    nodes,
+		stats:    noc.NewStats(),
+		ser:      serTable{bitsPerCycle: bpc},
+		devices:  photonics.DefaultDeviceParams(),
+		chanFree: make([]sim.Tick, nodes),
+		queues:   make([]srcQueue, nodes),
 	}
 	budget, err := photonics.ComputeBudget(n.devices, photonics.CrossbarGeometry{
 		Nodes:                 nodes,
@@ -95,15 +94,7 @@ func (n *SWMR) Budget() photonics.Budget { return n.budget }
 
 // SerializationCycles returns the channel occupancy of a payload.
 func (n *SWMR) SerializationCycles(bytes int) sim.Tick {
-	bits := float64(bytes) * 8
-	c := sim.Tick(bits / n.bitsPerCycle)
-	if float64(c)*n.bitsPerCycle < bits {
-		c++
-	}
-	if c < 1 {
-		c = 1
-	}
-	return c
+	return n.ser.cycles(bytes)
 }
 
 // propagation mirrors the MWSR serpentine distance model.
@@ -126,17 +117,17 @@ func (n *SWMR) Inject(m *noc.Message) {
 	n.inflight++
 	if m.Src == m.Dst {
 		n.seq++
-		heap.Push(&n.arrivals, arrival{at: n.now + 1, seq: n.seq, msg: m})
+		n.arrivals.push(arrival{at: n.now + 1, seq: n.seq, msg: m})
 		return
 	}
-	n.queues[m.Src] = append(n.queues[m.Src], m)
+	n.queues[m.Src].push(m)
 }
 
 // Tick implements noc.Network.
 func (n *SWMR) Tick() {
 	n.now++
 	for len(n.arrivals) > 0 && n.arrivals[0].at <= n.now {
-		a := heap.Pop(&n.arrivals).(arrival)
+		a := n.arrivals.pop()
 		a.msg.Arrive = n.now
 		n.stats.RecordDelivery(a.msg)
 		n.inflight--
@@ -145,18 +136,17 @@ func (n *SWMR) Tick() {
 		}
 	}
 	for s := 0; s < n.nodes; s++ {
-		if len(n.queues[s]) == 0 || n.chanFree[s] > n.now {
+		if n.queues[s].empty() || n.chanFree[s] > n.now {
 			continue
 		}
-		m := n.queues[s][0]
-		n.queues[s] = n.queues[s][1:]
+		m := n.queues[s].pop()
 		ser := n.SerializationCycles(m.Bytes)
 		oe := sim.Tick(n.cfg.OEOverheadCycles)
 		wait := n.now - m.Inject
 		n.stats.HopCount.Add(float64(wait))
 		n.stats.QueueDelay.Add(float64(wait))
 		n.seq++
-		heap.Push(&n.arrivals, arrival{at: n.now + oe + ser + n.propagation(m.Src, m.Dst), seq: n.seq, msg: m})
+		n.arrivals.push(arrival{at: n.now + oe + ser + n.propagation(m.Src, m.Dst), seq: n.seq, msg: m})
 		n.chanFree[s] = n.now + ser
 		n.bitsSent += uint64(m.Bytes) * 8
 		n.sends++
@@ -165,6 +155,53 @@ func (n *SWMR) Tick() {
 
 // Busy implements noc.Network.
 func (n *SWMR) Busy() bool { return n.inflight > 0 }
+
+// NextWake implements noc.Network. With no arbitration there is no hidden
+// per-cycle state: the next observable action is either the earliest
+// arrival or the first cycle a backlogged sender's channel frees up, both
+// known exactly.
+func (n *SWMR) NextWake() sim.Tick {
+	wake := noc.Never
+	if len(n.arrivals) > 0 {
+		wake = n.arrivals[0].at
+	}
+	for s := 0; s < n.nodes; s++ {
+		if n.queues[s].empty() {
+			continue
+		}
+		next := n.chanFree[s]
+		if next < n.now+1 {
+			next = n.now + 1
+		}
+		if next < wake {
+			wake = next
+		}
+	}
+	return wake
+}
+
+// SkipTo implements noc.Network. chanFree and arrival times are absolute,
+// so the skip is a pure clock jump.
+func (n *SWMR) SkipTo(t sim.Tick) {
+	if t > n.now {
+		n.now = t
+	}
+}
+
+// Reset implements noc.Resettable.
+func (n *SWMR) Reset() {
+	n.now = 0
+	n.stats = noc.NewStats()
+	n.arrivals = n.arrivals[:0]
+	n.seq = 0
+	n.inflight = 0
+	n.bitsSent = 0
+	n.sends = 0
+	for s := range n.queues {
+		n.queues[s].reset()
+		n.chanFree[s] = 0
+	}
+}
 
 // ZeroLoadLatency implements noc.Network: no arbitration wait at all.
 func (n *SWMR) ZeroLoadLatency(src, dst, bytes int) sim.Tick {

@@ -1,13 +1,16 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
 // Event is a unit of scheduled work. Events are ordered by time, with the
 // scheduling sequence number breaking ties so that execution order is total
 // and deterministic.
+//
+// Events are stored by value inside the engine's queue: scheduling performs
+// no per-event allocation beyond the caller's closure, and the queue slice
+// itself is recycled across the whole run.
 type Event struct {
 	at  Tick
 	seq uint64
@@ -17,24 +20,69 @@ type Event struct {
 // At returns the simulated time at which the event fires.
 func (e *Event) At() Tick { return e.at }
 
-type eventHeap []*Event
+// eventHeap is a hand-rolled 4-ary min-heap over Event values ordered by
+// (time, seq). A 4-ary heap halves the tree depth of the binary heap the
+// standard library would give us, and storing values instead of *Event
+// removes both the per-event allocation and the interface{} boxing of
+// container/heap — the two dominant allocation sources of the old engine.
+type eventHeap []Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// before is the (time, seq) total order.
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// push appends ev and sifts it up.
+func (h *eventHeap) push(ev Event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.before(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() Event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = Event{} // release the closure for GC
+	q = q[:n]
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.before(c, min) {
+				min = c
+			}
+		}
+		if !q.before(min, i) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	*h = q
+	return top
 }
 
 // Engine is a deterministic discrete-event scheduler. The zero value is
@@ -60,25 +108,33 @@ func (e *Engine) Now() Tick { return e.now }
 // Pending returns the number of scheduled, not-yet-executed events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// NextAt returns the firing time of the earliest pending event. ok is false
+// when the queue is empty. Owners use it to fast-forward across provably
+// idle stretches.
+func (e *Engine) NextAt() (at Tick, ok bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // Schedule enqueues fn to run at absolute time at. Scheduling in the past is
 // a programming error and panics: silently reordering time would destroy the
 // determinism contract.
-func (e *Engine) Schedule(at Tick, fn func()) *Event {
+func (e *Engine) Schedule(at Tick, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.queue.push(Event{at: at, seq: e.seq, fn: fn})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
 }
 
 // After enqueues fn to run delay ticks from now.
-func (e *Engine) After(delay Tick, fn func()) *Event {
+func (e *Engine) After(delay Tick, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
-	return e.Schedule(e.now+delay, fn)
+	e.Schedule(e.now+delay, fn)
 }
 
 // Stop makes the currently running Run call return after the in-flight
@@ -91,7 +147,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.queue.pop()
 	e.now = ev.at
 	e.Executed++
 	ev.fn()

@@ -127,6 +127,90 @@ func TestEngineStepEmpty(t *testing.T) {
 	}
 }
 
+func TestEngineNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt on empty engine reported a pending event")
+	}
+	e.Schedule(42, func() {})
+	e.Schedule(7, func() {})
+	if at, ok := e.NextAt(); !ok || at != 7 {
+		t.Fatalf("NextAt = (%d, %v), want (7, true)", at, ok)
+	}
+	e.Step()
+	if at, ok := e.NextAt(); !ok || at != 42 {
+		t.Fatalf("NextAt after step = (%d, %v), want (42, true)", at, ok)
+	}
+}
+
+// TestEngineHeapOrderRandomized cross-checks the 4-ary heap against a large
+// randomized schedule: execution must be sorted by (time, seq).
+func TestEngineHeapOrderRandomized(t *testing.T) {
+	e := NewEngine()
+	rng := NewStream(99, "engine-heap")
+	const n = 5000
+	type fired struct {
+		at  Tick
+		seq int
+	}
+	var got []fired
+	for i := 0; i < n; i++ {
+		i := i
+		at := Tick(rng.Intn(1000))
+		e.Schedule(at, func() { got = append(got, fired{at: at, seq: i}) })
+	}
+	e.Run()
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	for i := 1; i < n; i++ {
+		a, b := got[i-1], got[i]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("events out of order at %d: %+v before %+v", i, a, b)
+		}
+	}
+}
+
+// BenchmarkEngineScheduleStep measures the steady-state cost of one
+// schedule+execute cycle, the engine's hot loop in the bank-response model.
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.now+3, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineChurn measures a deeper queue: 64 resident events with one
+// schedule+pop per iteration, exercising sift-up and sift-down paths.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Tick(i*7%97), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.now+Tick(i%13)+1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineRunUntil measures the per-cycle cost of the synchronous
+// window flush when the queue is empty — the common case in System.tick.
+func BenchmarkEngineRunUntil(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(Tick(i))
+	}
+}
+
 func TestClockConversions(t *testing.T) {
 	c := NewClock(2e9) // 2 GHz
 	if got := c.Seconds(2e9); got != 1.0 {

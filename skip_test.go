@@ -1,0 +1,119 @@
+package onocsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"onocsim/internal/noc"
+	"onocsim/internal/sim"
+)
+
+type injEvent struct {
+	at       Tick
+	src, dst int
+	bytes    int
+	class    noc.Class
+}
+
+// driveSchedule injects a fixed schedule and runs the fabric dry, either
+// ticking every cycle or fast-forwarding through NextWake/SkipTo. It returns
+// the (id, arrival) sequence in delivery order.
+func driveSchedule(t *testing.T, net Network, sched []injEvent, skip bool) [][2]Tick {
+	t.Helper()
+	var deliveries [][2]Tick
+	net.SetDeliver(func(m *Message) {
+		deliveries = append(deliveries, [2]Tick{Tick(m.ID), m.Arrive})
+	})
+	i := 0
+	for guard := 0; ; guard++ {
+		if guard > 10_000_000 {
+			t.Fatal("schedule did not drain")
+		}
+		now := net.Now()
+		for i < len(sched) && sched[i].at <= now {
+			e := sched[i]
+			net.Inject(&Message{ID: uint64(i + 1), Src: e.src, Dst: e.dst, Bytes: e.bytes, Class: e.class})
+			i++
+		}
+		if i == len(sched) && !net.Busy() {
+			return deliveries
+		}
+		if skip {
+			wake := net.NextWake()
+			if i < len(sched) && sched[i].at < wake {
+				wake = sched[i].at
+			}
+			if wake == noc.Never {
+				t.Fatalf("NextWake=Never with %d in flight", len(sched)-len(deliveries))
+			}
+			if wake > now+1 {
+				net.SkipTo(wake - 1)
+			}
+		}
+		net.Tick()
+	}
+}
+
+// TestSkipEquivalence is the idle-skip invariant check: for every fabric
+// kind, fast-forwarding through NextWake/SkipTo must reproduce the exact
+// delivery times and order of the cycle-by-cycle run — on bursty traffic
+// with long idle stretches, the regime skipping is designed to exploit.
+func TestSkipEquivalence(t *testing.T) {
+	cfg := smallConfig()
+	for _, kind := range []NetworkKind{IdealNet, Electrical, Optical, Hybrid} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			ref, err := BuildNetwork(cfg, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := BuildNetwork(cfg, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := sim.NewStream(7, "skip-equivalence-"+string(kind))
+			nodes := ref.Nodes()
+			var sched []injEvent
+			at := Tick(0)
+			for burst := 0; burst < 40; burst++ {
+				// Idle gaps span a few cycles to several token rotations.
+				at += Tick(1 + rng.Intn(3000))
+				for k := 0; k < 1+rng.Intn(6); k++ {
+					src := rng.Intn(nodes)
+					dst := rng.Intn(nodes)
+					if dst == src {
+						dst = (src + 1) % nodes
+					}
+					sched = append(sched, injEvent{
+						at:    at + Tick(rng.Intn(4)),
+						src:   src,
+						dst:   dst,
+						bytes: 8 << rng.Intn(5),
+						class: noc.Class(rng.Intn(int(noc.NumClasses))),
+					})
+				}
+			}
+			want := driveSchedule(t, ref, sched, false)
+			got := driveSchedule(t, fast, sched, true)
+			if len(want) != len(sched) {
+				t.Fatalf("reference run delivered %d of %d", len(want), len(sched))
+			}
+			if !reflect.DeepEqual(got, want) {
+				for i := range want {
+					if i < len(got) && got[i] != want[i] {
+						t.Fatalf("delivery %d diverges: skip run %v, tick run %v", i, got[i], want[i])
+					}
+				}
+				t.Fatalf("skip run delivered %d, tick run %d", len(got), len(want))
+			}
+			if fast.Stats().Delivered != ref.Stats().Delivered {
+				t.Fatalf("stats diverge: %d vs %d", fast.Stats().Delivered, ref.Stats().Delivered)
+			}
+			if fmt.Sprintf("%.9f", fast.Stats().MeanLatency()) != fmt.Sprintf("%.9f", ref.Stats().MeanLatency()) {
+				t.Fatalf("mean latency diverges: %g vs %g", fast.Stats().MeanLatency(), ref.Stats().MeanLatency())
+			}
+		})
+	}
+}
