@@ -25,9 +25,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark snapshot: runs the root-package benchmarks plus
-# the engine micro-benchmarks and folds the results into BENCH_PR1.json.
+# the engine micro-benchmarks, folds the results into BENCH_PR2.json against
+# the committed BENCH_PR1.json reference, and fails on a >25% regression so
+# the PR 1 hot-loop wins stay locked in.
 bench-json:
-	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ | $(GO) run ./cmd/benchjson -out BENCH_PR1.json -baseline BENCH_BASELINE.txt
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ | $(GO) run ./cmd/benchjson -out BENCH_PR2.json -baseline BENCH_PR1.json -maxregress 25
 
 # Regenerate the full evaluation (R1–R16) at paper scale.
 report:

@@ -23,7 +23,6 @@ package onocsim
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"onocsim/internal/config"
@@ -62,6 +61,8 @@ type (
 	Tick = sim.Tick
 	// Table renders experiment results as ASCII or CSV.
 	Table = metrics.Table
+	// SyntheticResult summarizes one open-loop synthetic traffic run.
+	SyntheticResult = workload.SyntheticResult
 )
 
 // Fabric kinds.
@@ -168,6 +169,8 @@ func RunExecutionDriven(cfg Config, kind NetworkKind) (GroundTruth, error) {
 	if err != nil {
 		return GroundTruth{}, err
 	}
+	acquireSimSlot()
+	defer releaseSimSlot()
 	start := time.Now()
 	res, err := sys.Run(cfg.MaxCyclesOrDefault())
 	if err != nil {
@@ -179,7 +182,7 @@ func RunExecutionDriven(cfg Config, kind NetworkKind) (GroundTruth, error) {
 		Cycles:      res.Cycles,
 		Messages:    res.Messages,
 		WallTime:    time.Since(start),
-		Power:       net.PowerReport(res.Cycles, clockGHz(cfg)),
+		Power:       net.PowerReport(res.Cycles, clockGHz(cfg, kind)),
 	}
 	for c := noc.Class(0); c < noc.NumClasses; c++ {
 		gt.ClassLatency[c] = net.Stats().PerClass[c].Mean()
@@ -187,8 +190,16 @@ func RunExecutionDriven(cfg Config, kind NetworkKind) (GroundTruth, error) {
 	return gt, nil
 }
 
-// clockGHz returns the system clock used for power conversion.
-func clockGHz(cfg Config) float64 { return cfg.Optical.ClockGHz }
+// clockGHz returns the clock used to convert the simulated fabric's cycle
+// counts into seconds for power reporting: the mesh clock for the
+// electrical fabric, the optical system clock otherwise (the hybrid charges
+// both sub-fabrics at the optical system clock it is synchronized to).
+func clockGHz(cfg Config, kind NetworkKind) float64 {
+	if kind == config.NetElectrical {
+		return cfg.Mesh.ClockGHz
+	}
+	return cfg.Optical.ClockGHz
+}
 
 // CaptureTrace runs the configured kernel workload execution-driven on the
 // capture fabric (by default the cheap ideal network) with recording enabled
@@ -207,6 +218,8 @@ func CaptureTrace(cfg Config, captureOn NetworkKind) (*Trace, time.Duration, err
 	if err != nil {
 		return nil, 0, err
 	}
+	acquireSimSlot()
+	defer releaseSimSlot()
 	start := time.Now()
 	res, err := sys.Run(cfg.MaxCyclesOrDefault())
 	if err != nil {
@@ -227,6 +240,8 @@ func RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time
 	if err != nil {
 		return ReplayResult{}, 0, err
 	}
+	acquireSimSlot()
+	defer releaseSimSlot()
 	start := time.Now()
 	res, err := core.NaiveReplay(net, tr)
 	return res, time.Since(start), err
@@ -242,6 +257,8 @@ func RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, ti
 		DisableSyncDeps:   cfg.SCTM.DisableSyncDeps,
 		DisableCausalDeps: cfg.SCTM.DisableCausalDeps,
 	}
+	acquireSimSlot()
+	defer releaseSimSlot()
 	start := time.Now()
 	res, err := core.CoupledReplay(net, tr, opts)
 	return res, time.Since(start), err
@@ -254,6 +271,8 @@ func RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResul
 	if err != nil {
 		return CorrectionResult{}, 0, err
 	}
+	acquireSimSlot()
+	defer releaseSimSlot()
 	start := time.Now()
 	res, err := core.SelfCorrect(factory, tr, cfg.SCTM)
 	return res, time.Since(start), err
@@ -286,10 +305,13 @@ type Study struct {
 	SCTMWall    time.Duration
 }
 
-// simSlots bounds the simulation phases running concurrently across every
-// RunStudy in the process. Each phase holds a slot for its entire timed
-// region, so per-phase wall clocks stay honest even when studies pipeline on
-// an oversubscribed host (e.g. the experiment harness fans out studies too).
+// simSlots bounds the simulation phases running concurrently across the
+// whole process: every timed leaf operation (execution-driven run, capture,
+// replay, synthetic drive) holds one slot for its entire timed region, so
+// per-phase wall clocks stay honest even when studies pipeline — or the
+// experiment scheduler fans whole experiments out — on an oversubscribed
+// host. Leaf operations never nest, so a goroutine holds at most one slot
+// and the semaphore cannot deadlock.
 var simSlots = make(chan struct{}, runtime.NumCPU())
 
 func acquireSimSlot() { simSlots <- struct{}{} }
@@ -297,80 +319,24 @@ func releaseSimSlot() { <-simSlots }
 
 // RunStudy executes the complete methodology comparison: capture the trace
 // on the cheap reference fabric, measure execution-driven ground truth on
-// the target, and evaluate every replay engine against it.
-//
-// The phases form a two-stage pipeline. Trace capture and execution-driven
-// ground truth are independent, so they run in parallel; the three replay
-// engines need only the captured trace, so they start as soon as capture
-// finishes — typically while the (much slower) ground-truth run is still
-// going. Every simulation is self-contained (own fabric, own RNG streams,
-// own message pools), so the results are bit-identical to the sequential
-// schedule.
+// the target, and evaluate every replay engine against it. It is the
+// uncached form of Session.RunStudy; see there for the pipeline shape.
 func RunStudy(cfg Config, target NetworkKind) (*Study, error) {
-	if err := ValidateNetworkKind(cfg, target); err != nil {
-		return nil, err
+	return (*Session)(nil).RunStudy(cfg, target)
+}
+
+// RunSyntheticLoad drives a fresh fabric of the given kind open-loop with
+// the config's synthetic workload and reports latency/throughput. The
+// electrical flit granularity prices offered load on both fabrics so the
+// numbers stay comparable.
+func RunSyntheticLoad(cfg Config, kind NetworkKind) (SyntheticResult, error) {
+	net, err := BuildNetwork(cfg, kind)
+	if err != nil {
+		return SyntheticResult{}, err
 	}
-	st := &Study{Workload: cfg.Workload.Kernel, Target: target}
-
-	var wg sync.WaitGroup
-	var truthErr error
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		acquireSimSlot()
-		defer releaseSimSlot()
-		st.Truth, truthErr = RunExecutionDriven(cfg, target)
-	}()
-
-	// Capture runs on the calling goroutine: the replay engines block on it.
 	acquireSimSlot()
-	tr, capWall, capErr := CaptureTrace(cfg, config.NetIdeal)
-	releaseSimSlot()
-	if capErr != nil {
-		wg.Wait()
-		return nil, fmt.Errorf("onocsim: capture: %w", capErr)
-	}
-	st.Trace = tr
-	st.CaptureWall = capWall
-
-	var naiveErr, coupErr, sctmErr error
-	wg.Add(3)
-	go func() {
-		defer wg.Done()
-		acquireSimSlot()
-		defer releaseSimSlot()
-		st.Naive, st.NaiveWall, naiveErr = RunNaiveReplay(cfg, tr, target)
-	}()
-	go func() {
-		defer wg.Done()
-		acquireSimSlot()
-		defer releaseSimSlot()
-		st.Coupled, st.CoupledWall, coupErr = RunCoupledReplay(cfg, tr, target)
-	}()
-	go func() {
-		defer wg.Done()
-		acquireSimSlot()
-		defer releaseSimSlot()
-		st.SCTM, st.SCTMWall, sctmErr = RunSelfCorrection(cfg, tr, target)
-	}()
-	wg.Wait()
-
-	if truthErr != nil {
-		return nil, fmt.Errorf("onocsim: ground truth: %w", truthErr)
-	}
-	if naiveErr != nil {
-		return nil, fmt.Errorf("onocsim: naive replay: %w", naiveErr)
-	}
-	if coupErr != nil {
-		return nil, fmt.Errorf("onocsim: coupled replay: %w", coupErr)
-	}
-	if sctmErr != nil {
-		return nil, fmt.Errorf("onocsim: self-correction: %w", sctmErr)
-	}
-	st.NaiveAcc = Compare(st.Naive, st.Truth)
-	st.CoupAcc = Compare(st.Coupled, st.Truth)
-	st.SCTMAcc = Compare(st.SCTM.Final, st.Truth)
-	return st, nil
+	defer releaseSimSlot()
+	return workload.RunSynthetic(net, cfg.Workload, cfg.Mesh.FlitBytes, cfg.Seed)
 }
 
 // SaveTrace / LoadTrace round-trip the binary trace format.

@@ -1,10 +1,17 @@
 // Command benchjson converts `go test -bench` output into a machine-readable
 // JSON snapshot, optionally folding in a recorded baseline run so the file
-// carries before/after numbers and speedups side by side.
+// carries before/after numbers and speedups side by side. The baseline may be
+// raw `go test -bench` text or a snapshot this tool wrote earlier (its
+// "current" section becomes the reference), so successive PRs chain:
+// BENCH_PR1.json baselines BENCH_PR2.json, and so on.
+//
+// With -maxregress, benchjson also acts as a CI gate: it exits nonzero when
+// any benchmark present in both runs got slower than the allowed percentage.
 //
 // Usage:
 //
 //	go test -run '^$' -bench=. -benchmem ./... | benchjson -out BENCH.json -baseline BENCH_BASELINE.txt
+//	go test -run '^$' -bench=. -benchmem ./... | benchjson -out BENCH_PR2.json -baseline BENCH_PR1.json -maxregress 25
 package main
 
 import (
@@ -88,9 +95,32 @@ func parse(r io.Reader) (map[string]Result, map[string]string, error) {
 	return results, env, sc.Err()
 }
 
+// parseBaseline reads a baseline file: either raw `go test -bench` text or a
+// JSON snapshot written by this tool, whose "current" results become the
+// reference numbers.
+func parseBaseline(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("parsing %s as a snapshot: %w", path, err)
+		}
+		if len(snap.Current) == 0 {
+			return nil, fmt.Errorf("snapshot %s has no current results", path)
+		}
+		return snap.Current, nil
+	}
+	res, _, err := parse(strings.NewReader(string(data)))
+	return res, err
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
-	baseline := flag.String("baseline", "", "optional baseline run (raw `go test -bench` text) to embed")
+	baseline := flag.String("baseline", "", "baseline run to embed: raw `go test -bench` text or a benchjson snapshot")
+	maxRegress := flag.Float64("maxregress", 0, "fail (exit 1) if any benchmark regresses more than this percent vs the baseline (0 disables)")
 	flag.Parse()
 
 	current, env, err := parse(os.Stdin)
@@ -103,23 +133,26 @@ func main() {
 		os.Exit(1)
 	}
 	snap := Snapshot{Env: env, Current: current}
+	var regressions []string
 	if *baseline != "" {
-		f, err := os.Open(*baseline)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-		snap.Baseline, _, err = parse(f)
-		f.Close()
+		var err error
+		snap.Baseline, err = parseBaseline(*baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 		snap.Speedup = map[string]float64{}
 		for name, b := range snap.Baseline {
-			if c, ok := current[name]; ok && c.NsPerOp > 0 {
-				// Two decimal places: benchmark noise makes more digits lie.
-				snap.Speedup[name] = float64(int64(b.NsPerOp/c.NsPerOp*100)) / 100
+			c, ok := current[name]
+			if !ok || c.NsPerOp <= 0 {
+				continue
+			}
+			// Two decimal places: benchmark noise makes more digits lie.
+			snap.Speedup[name] = float64(int64(b.NsPerOp/c.NsPerOp*100)) / 100
+			if *maxRegress > 0 && c.NsPerOp > b.NsPerOp*(1+*maxRegress/100) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, limit %.0f%%)",
+					name, c.NsPerOp, b.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100, *maxRegress))
 			}
 		}
 	}
@@ -131,11 +164,20 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
+	if len(regressions) > 0 {
+		// The snapshot is still written above: the numbers that failed the
+		// gate are exactly the ones worth inspecting.
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond the limit:\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), *out)
 }

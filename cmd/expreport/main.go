@@ -6,7 +6,9 @@
 //	expreport -exp all
 //	expreport -exp r1 -cores 64
 //	expreport -exp r4 -csv > r4.csv
-//	expreport -exp all -quick       # CI-sized sweeps
+//	expreport -exp all -quick              # CI-sized sweeps
+//	expreport -exp all -parallel           # memoized parallel scheduler
+//	expreport -exp all -parallel -cachedir ~/.cache/onocsim
 package main
 
 import (
@@ -15,22 +17,40 @@ import (
 	"os"
 	"path/filepath"
 
+	"onocsim"
 	"onocsim/internal/experiments"
 	"onocsim/internal/metrics"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (r1..r17) or 'all'")
-		cores  = flag.Int("cores", 64, "core count for kernel experiments")
-		seed   = flag.Uint64("seed", 42, "experiment seed")
-		quick  = flag.Bool("quick", false, "shrink sweeps (CI-sized)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of ASCII")
-		outdir = flag.String("outdir", "", "also write one CSV file per experiment into this directory")
+		exp      = flag.String("exp", "all", "experiment id (r1..r17) or 'all'")
+		cores    = flag.Int("cores", 64, "core count for kernel experiments")
+		seed     = flag.Uint64("seed", 42, "experiment seed")
+		quick    = flag.Bool("quick", false, "shrink sweeps (CI-sized)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of ASCII")
+		outdir   = flag.String("outdir", "", "also write one CSV file per experiment into this directory")
+		parallel = flag.Bool("parallel", false, "fan experiments out concurrently, deduplicating shared simulations (tables are byte-identical apart from wall-clock cells)")
+		cachedir = flag.String("cachedir", "", "persist captured traces here and reload them across invocations (implies result memoization)")
+		verbose  = flag.Bool("v", false, "report cache statistics on stderr")
 	)
 	flag.Parse()
-	opts := experiments.Options{Seed: *seed, Cores: *cores, Quick: *quick}
-	if err := run(*exp, opts, *csv, *outdir); err != nil {
+	opts := experiments.Options{Seed: *seed, Cores: *cores, Quick: *quick, Parallel: *parallel}
+	// One session serves the whole invocation, so every experiment —
+	// whether run via -exp all or singly — shares one memo table. The
+	// scheduler would create its own; making it here too lets a plain
+	// -cachedir (without -parallel) still reuse disk-persisted captures,
+	// and gives -v something to report.
+	if *parallel || *cachedir != "" {
+		opts.Session = onocsim.NewSession(*cachedir)
+	}
+	err := run(*exp, opts, *csv, *outdir)
+	if *verbose && opts.Session != nil {
+		st := opts.Session.CacheStats()
+		fmt.Fprintf(os.Stderr, "expreport: cache: %d computed, %d hits, %d single-flight waits, %d disk hits\n",
+			st.Misses, st.Hits, st.Waits, st.DiskHits)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "expreport:", err)
 		os.Exit(1)
 	}

@@ -98,6 +98,10 @@ type Mesh struct {
 	// Routing selects "xy" (deterministic) or "westfirst" (partially
 	// adaptive, deadlock-free turn model).
 	Routing string `json:"routing"`
+	// ClockGHz is the electrical network clock, used to convert cycle
+	// counts into seconds for the mesh power report. It may differ from
+	// the optical system clock when the fabrics are clocked independently.
+	ClockGHz float64 `json:"clock_ghz"`
 }
 
 // Optical configures the photonic crossbar (Corona-class MWSR).
@@ -242,6 +246,7 @@ func Default() Config {
 			RouterStages: 2,
 			LinkCycles:   1,
 			Routing:      "xy",
+			ClockGHz:     2,
 		},
 		Optical: Optical{
 			Architecture:            "mwsr",
@@ -315,7 +320,7 @@ func (c *Config) Validate() error {
 	case s.CtrlBytes <= 0 || s.DataBytes <= 0:
 		return fmt.Errorf("config: message sizes must be positive (ctrl=%d data=%d)", s.CtrlBytes, s.DataBytes)
 	case s.MemPorts < 0 || s.MemPorts > 4:
-		return fmt.Errorf("config: system.mem_ports=%d out of [0,4]", s.MemPorts)
+		return fmt.Errorf("config: system.mem_ports=%d out of [0,4]: memory controllers sit at the chip corners, so at most 4 exist", s.MemPorts)
 	}
 	m := &c.Mesh
 	switch {
@@ -335,6 +340,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: mesh latencies must be ≥1")
 	case m.Routing != "xy" && m.Routing != "westfirst":
 		return fmt.Errorf("config: mesh.routing=%q not in {xy, westfirst}", m.Routing)
+	case m.ClockGHz <= 0:
+		return fmt.Errorf("config: mesh.clock_ghz=%g must be positive", m.ClockGHz)
 	}
 	o := &c.Optical
 	switch {

@@ -1,0 +1,133 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"math"
+)
+
+// fingerprintVersion is folded into every fingerprint so that adding or
+// re-interpreting a config field invalidates previously persisted results
+// instead of silently colliding with them. Bump it whenever the set of
+// hashed fields (or their meaning) changes.
+const fingerprintVersion = 1
+
+// Fingerprint returns a canonical, collision-resistant identity for a
+// validated configuration: two configs share a fingerprint exactly when
+// every simulation-relevant field is equal. The hash is computed over an
+// explicit, fixed field ordering (not struct memory or JSON output), so it
+// is stable across process runs, architectures, and incidental struct
+// reshuffles — which is what makes it usable as a cross-invocation disk
+// cache key.
+//
+// Name is deliberately excluded: it labels reports and does not influence
+// simulation results. Everything else — seed, system geometry, all fabric
+// parameters, workload, and SCTM knobs — is included.
+func (c *Config) Fingerprint() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", fmt.Errorf("config: fingerprint of invalid config: %w", err)
+	}
+	h := sha256.New()
+	w := fpWriter{h: h}
+	w.str("onocsim-fingerprint")
+	w.u64(fingerprintVersion)
+
+	w.u64(c.Seed)
+	s := &c.System
+	w.ints(s.Cores, s.L1Sets, s.L1Ways, s.L1LineBytes, s.L2SetsPerBank, s.L2Ways)
+	w.i64s(s.L2HitCycles, s.MemCycles)
+	w.ints(s.CtrlBytes, s.DataBytes, s.MemPorts)
+
+	m := &c.Mesh
+	w.str(m.Topology)
+	w.ints(m.VCs, m.BufDepth, m.FlitBytes)
+	w.i64s(m.RouterStages, m.LinkCycles)
+	w.str(m.Routing)
+	w.f64(m.ClockGHz)
+
+	o := &c.Optical
+	w.str(o.Architecture)
+	w.ints(o.WavelengthsPerChannel)
+	w.f64(o.GbpsPerWavelength)
+	w.f64(o.ClockGHz)
+	w.i64s(o.TokenHopCycles, o.PropagationCyclesAcross, o.OEOverheadCycles)
+	w.ints(o.MaxTokenHold)
+	w.f64(o.DieEdgeCm)
+
+	w.i64s(c.Ideal.LatencyCycles)
+	w.ints(c.Ideal.BytesPerCycle)
+	w.ints(c.Hybrid.Threshold)
+
+	wl := &c.Workload
+	w.str(string(wl.Kind))
+	w.str(wl.Pattern)
+	w.f64(wl.InjectionRate)
+	w.ints(wl.PacketBytes, wl.Packets)
+	w.str(wl.Kernel)
+	w.ints(wl.Scale, wl.Iterations)
+	w.f64(wl.ComputeScale)
+	w.f64(wl.Jitter)
+
+	t := &c.SCTM
+	w.ints(t.MaxIterations)
+	w.i64s(t.ToleranceCycles, t.InitialLatencyCycles)
+	w.f64(t.Damping)
+	w.f64(t.MakespanTolerance)
+	w.bools(t.DisableSyncDeps, t.DisableCausalDeps)
+
+	w.str(string(c.Network))
+	w.i64s(c.MaxCycles)
+
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// fpWriter feeds canonically framed primitives into a hash. Strings are
+// length-prefixed so adjacent fields cannot alias ("ab","c" vs "a","bc");
+// numerics are fixed-width little-endian. Hash writes never fail, so errors
+// are not threaded through.
+type fpWriter struct{ h hash.Hash }
+
+func (w fpWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.h.Write(b[:])
+}
+
+func (w fpWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	io.WriteString(w.h, s)
+}
+
+func (w fpWriter) ints(vs ...int) {
+	for _, v := range vs {
+		w.u64(uint64(int64(v)))
+	}
+}
+
+func (w fpWriter) i64s(vs ...int64) {
+	for _, v := range vs {
+		w.u64(uint64(v))
+	}
+}
+
+func (w fpWriter) f64(v float64) {
+	// Validated configs never hold NaN, and the sign of zero does not
+	// influence any model, so raw IEEE bits are canonical enough.
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	w.h.Write(b[:])
+}
+
+func (w fpWriter) bools(vs ...bool) {
+	for _, v := range vs {
+		if v {
+			w.u64(1)
+		} else {
+			w.u64(0)
+		}
+	}
+}

@@ -67,6 +67,38 @@ func TestMemControllerCornerMapping(t *testing.T) {
 	}
 }
 
+func TestMemControllerPortsOutOfRange(t *testing.T) {
+	// Only four chip corners exist: a port count beyond that used to index
+	// past the corner array at replay time (a panic on the first off-chip
+	// miss). Both the config validator and NewSystem itself — which accepts
+	// unvalidated configs — must reject it up front.
+	for _, ports := range []int{-1, 5, 8} {
+		cfg := mcConfig(ports)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("ports=%d: config.Validate accepted it", ports)
+		}
+		net := noc.NewIdeal(16, 20, 16)
+		if _, err := NewSystem(cfg, progsFor(16, idle()), net, nil); err == nil {
+			t.Errorf("ports=%d: NewSystem accepted it", ports)
+		}
+	}
+	// The line-interleaved mapping itself must exercise exactly the derived
+	// tiles even under a heavy address sweep (regression for the old
+	// fixed-[4]int indexing).
+	cfg := mcConfig(3)
+	net := noc.NewIdeal(16, 20, 16)
+	sys, err := NewSystem(cfg, progsFor(16, idle()), net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{0: true, 3: true, 12: true}
+	for line := uint64(0); line < 1<<12; line++ {
+		if mc := sys.memControllerOf(line); !want[mc] {
+			t.Fatalf("line %d mapped to tile %d outside the 3-port corner set", line, mc)
+		}
+	}
+}
+
 func TestMemControllerCaptureCompleteness(t *testing.T) {
 	cfg := mcConfig(2)
 	rec := trace.NewRecorder(16)

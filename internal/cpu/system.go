@@ -24,6 +24,11 @@ type System struct {
 	rec   *trace.Recorder
 	msgID uint64
 
+	// memTiles lists the memory-controller tiles, derived from
+	// cfg.System.MemPorts at construction; empty when off-chip latency is
+	// folded into the home bank (MemPorts == 0).
+	memTiles []int
+
 	inbox []arrivedMsg
 	// inboxSpare is the second half of the inbox double buffer: tick
 	// swaps it in before dispatching so the in-flight batch is never
@@ -54,7 +59,11 @@ func NewSystem(cfg config.Config, programs []Program, net noc.Network, rec *trac
 	for 1<<lb < cfg.System.L1LineBytes {
 		lb++
 	}
-	s := &System{cfg: cfg, net: net, nodes: cfg.System.Cores, rec: rec, lineBits: lb, eng: sim.NewEngine()}
+	memTiles, err := memControllerTiles(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, net: net, nodes: cfg.System.Cores, rec: rec, lineBits: lb, eng: sim.NewEngine(), memTiles: memTiles}
 	for i, p := range programs {
 		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("cpu: core %d: %w", i, err)
@@ -74,12 +83,26 @@ func (s *System) homeOf(line uint64) int { return int(line % uint64(s.nodes)) }
 // homeOfSync maps a lock/barrier ID to its manager tile.
 func (s *System) homeOfSync(id uint64) int { return int(id % uint64(s.nodes)) }
 
-// memControllerOf maps a line to its memory controller tile: controllers
-// sit at the chip corners, line-interleaved.
+// memControllerTiles derives the controller tile list from MemPorts: the
+// first MemPorts chip corners, in the fixed order NW, NE, SW, SE. Config
+// validation enforces the same bound, but NewSystem also accepts configs
+// that were never validated, so the range is re-checked here — an
+// out-of-range port count must be a construction error, not a replay-time
+// index panic.
+func memControllerTiles(cfg *config.Config) ([]int, error) {
+	ports := cfg.System.MemPorts
+	w := cfg.MeshWidth()
+	corners := []int{0, w - 1, (w - 1) * w, cfg.System.Cores - 1}
+	if ports < 0 || ports > len(corners) {
+		return nil, fmt.Errorf("cpu: mem_ports=%d out of [0,%d]: controllers sit at the chip corners", ports, len(corners))
+	}
+	return corners[:ports], nil
+}
+
+// memControllerOf maps a line to its memory controller tile,
+// line-interleaved across the tiles derived at construction.
 func (s *System) memControllerOf(line uint64) int {
-	w := s.cfg.MeshWidth()
-	corners := [4]int{0, w - 1, (w - 1) * w, s.nodes - 1}
-	return corners[int(line)%s.cfg.System.MemPorts]
+	return s.memTiles[int(line%uint64(len(s.memTiles)))]
 }
 
 // bytesFor returns the fabric payload size of a protocol message.

@@ -26,6 +26,19 @@ type Options struct {
 	Cores int
 	// Quick shrinks sweeps for use inside benchmarks and CI.
 	Quick bool
+	// Session memoizes simulation results across experiments: the same
+	// (config, fabric, operation) triple — e.g. the optical ground truth
+	// of a kernel, needed by R1, R3, R5, R6, R8… — is computed once and
+	// shared. nil runs every simulation afresh (every call site is
+	// nil-safe). Tables are byte-identical either way, except that cached
+	// wall-clock cells report the one computation that actually ran.
+	Session *onocsim.Session
+	// Parallel fans independent experiments out concurrently (bounded by
+	// the library's process-wide simulation-slot semaphore), deduplicating
+	// shared runs through Session instead of racing. Only All consults it;
+	// the per-experiment functions are sequential internally apart from
+	// the study-set fan-out.
+	Parallel bool
 }
 
 func (o Options) cores() int {
@@ -91,7 +104,7 @@ func newStudySet(o Options) (*studySet, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			st, err := onocsim.RunStudy(kernelConfig(o, k), onocsim.Optical)
+			st, err := o.Session.RunStudy(kernelConfig(o, k), onocsim.Optical)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {
@@ -198,15 +211,15 @@ func R3Convergence(o Options) (*metrics.Table, error) {
 		"kernel", "round", "schedule delta", "makespan est", "err vs truth")
 	for _, k := range workload.KernelNames() {
 		cfg := kernelConfig(o, k)
-		tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+		tr, _, err := o.Session.CaptureTrace(cfg, onocsim.IdealNet)
 		if err != nil {
 			return nil, err
 		}
-		truth, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		truth, err := o.Session.RunExecutionDriven(cfg, onocsim.Optical)
 		if err != nil {
 			return nil, err
 		}
-		res, _, err := onocsim.RunSelfCorrection(cfg, tr, onocsim.Optical)
+		res, _, err := o.Session.RunSelfCorrection(cfg, tr, onocsim.Optical)
 		if err != nil {
 			return nil, err
 		}
@@ -253,11 +266,7 @@ func R4LoadLatency(o Options) (*metrics.Table, error) {
 					Iterations:    1,
 					ComputeScale:  1,
 				}
-				net, err := onocsim.BuildNetwork(cfg, kind)
-				if err != nil {
-					return nil, err
-				}
-				res, err := workload.RunSynthetic(net, cfg.Workload, cfg.Mesh.FlitBytes, cfg.Seed)
+				res, err := o.Session.RunSyntheticLoad(cfg, kind)
 				if err != nil {
 					return nil, err
 				}
@@ -285,11 +294,11 @@ func R5CaseStudy(o Options) (*metrics.Table, error) {
 	var speedups []float64
 	for _, k := range workload.KernelNames() {
 		cfg := kernelConfig(o, k)
-		e, err := onocsim.RunExecutionDriven(cfg, onocsim.Electrical)
+		e, err := o.Session.RunExecutionDriven(cfg, onocsim.Electrical)
 		if err != nil {
 			return nil, err
 		}
-		op, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		op, err := o.Session.RunExecutionDriven(cfg, onocsim.Optical)
 		if err != nil {
 			return nil, err
 		}
@@ -315,7 +324,7 @@ func R6Power(o Options) (*metrics.Table, error) {
 	for _, k := range workload.KernelNames() {
 		cfg := kernelConfig(o, k)
 		for _, kind := range []onocsim.NetworkKind{onocsim.Electrical, onocsim.Optical} {
-			res, err := onocsim.RunExecutionDriven(cfg, kind)
+			res, err := o.Session.RunExecutionDriven(cfg, kind)
 			if err != nil {
 				return nil, err
 			}
@@ -346,7 +355,7 @@ func R7Scaling(o Options) (*metrics.Table, error) {
 		opts := o
 		opts.Cores = n
 		cfg := kernelConfig(opts, "stencil")
-		st, err := onocsim.RunStudy(cfg, onocsim.Optical)
+		st, err := o.Session.RunStudy(cfg, onocsim.Optical)
 		if err != nil {
 			return nil, err
 		}
@@ -371,11 +380,11 @@ func R8Ablation(o Options) (*metrics.Table, error) {
 		"kernel", "full model", "no sync deps", "no causal deps")
 	for _, k := range workload.KernelNames() {
 		cfg := kernelConfig(o, k)
-		tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+		tr, _, err := o.Session.CaptureTrace(cfg, onocsim.IdealNet)
 		if err != nil {
 			return nil, err
 		}
-		truth, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		truth, err := o.Session.RunExecutionDriven(cfg, onocsim.Optical)
 		if err != nil {
 			return nil, err
 		}
@@ -383,7 +392,7 @@ func R8Ablation(o Options) (*metrics.Table, error) {
 			c := cfg
 			c.SCTM.DisableSyncDeps = noSync
 			c.SCTM.DisableCausalDeps = noCausal
-			res, _, err := onocsim.RunSelfCorrection(c, tr, onocsim.Optical)
+			res, _, err := o.Session.RunSelfCorrection(c, tr, onocsim.Optical)
 			if err != nil {
 				return 0, err
 			}
@@ -406,8 +415,17 @@ func R8Ablation(o Options) (*metrics.Table, error) {
 	return t, nil
 }
 
-// All runs every experiment in order and returns the tables.
+// All runs every experiment and returns the tables in canonical order
+// (Names() order). Sequentially by default; with o.Parallel the experiments
+// fan out concurrently — actual simulation concurrency stays bounded by the
+// library's simulation-slot semaphore, and shared (config, fabric, op) runs
+// deduplicate through o.Session (one is created for the run if the caller
+// supplied none, since parallel experiments without deduplication would
+// race to redo identical work).
 func All(o Options) ([]*metrics.Table, error) {
+	if o.Parallel {
+		return allParallel(o)
+	}
 	var out []*metrics.Table
 	t1, t2, err := R1R2(o)
 	if err != nil {
@@ -425,6 +443,39 @@ func All(o Options) ([]*metrics.Table, error) {
 		out = append(out, t)
 	}
 	return out, nil
+}
+
+// allParallel is the parallel experiment scheduler: every experiment runs
+// on its own goroutine and tables are collected in canonical order. The
+// per-experiment goroutines are cheap coordinators — all heavy work happens
+// in the leaf simulation operations, which both bound concurrency (each
+// holds one process-wide simulation slot for its timed region) and
+// deduplicate (concurrent requests for one result single-flight through the
+// session). The first error wins, in canonical experiment order so failures
+// are deterministic.
+func allParallel(o Options) ([]*metrics.Table, error) {
+	if o.Session == nil {
+		o.Session = onocsim.NewSession("")
+	}
+	names := Names()
+	tables := make([]*metrics.Table, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		i, name := i, name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tables[i], errs[i] = ByName(name, o)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", names[i], err)
+		}
+	}
+	return tables, nil
 }
 
 // Names lists experiment identifiers accepted by cmd/expreport. R1–R8

@@ -25,12 +25,12 @@ func R9Architectures(o Options) (*metrics.Table, error) {
 	for _, k := range workload.KernelNames() {
 		cfg := kernelConfig(o, k)
 		cfg.Optical.Architecture = "mwsr"
-		mwsr, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		mwsr, err := o.Session.RunExecutionDriven(cfg, onocsim.Optical)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Optical.Architecture = "swmr"
-		swmr, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		swmr, err := o.Session.RunExecutionDriven(cfg, onocsim.Optical)
 		if err != nil {
 			return nil, err
 		}
@@ -59,24 +59,24 @@ func R10CaptureFabric(o Options) (*metrics.Table, error) {
 	}
 	for _, k := range kernels {
 		cfg := kernelConfig(o, k)
-		truth, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		truth, err := o.Session.RunExecutionDriven(cfg, onocsim.Optical)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{k}
 		var naiveIdeal float64
 		for i, capOn := range []onocsim.NetworkKind{onocsim.IdealNet, onocsim.Electrical, onocsim.Optical} {
-			tr, _, err := onocsim.CaptureTrace(cfg, capOn)
+			tr, _, err := o.Session.CaptureTrace(cfg, capOn)
 			if err != nil {
 				return nil, err
 			}
-			res, _, err := onocsim.RunSelfCorrection(cfg, tr, onocsim.Optical)
+			res, _, err := o.Session.RunSelfCorrection(cfg, tr, onocsim.Optical)
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, pct(metrics.RelErr(float64(res.Final.Makespan), float64(truth.Makespan))))
 			if i == 0 {
-				nv, _, err := onocsim.RunNaiveReplay(cfg, tr, onocsim.Optical)
+				nv, _, err := o.Session.RunNaiveReplay(cfg, tr, onocsim.Optical)
 				if err != nil {
 					return nil, err
 				}
@@ -104,11 +104,11 @@ func R12Hybrid(o Options) (*metrics.Table, error) {
 	}
 	for _, k := range kernels {
 		cfg := kernelConfig(o, k)
-		mesh, err := onocsim.RunExecutionDriven(cfg, onocsim.Electrical)
+		mesh, err := o.Session.RunExecutionDriven(cfg, onocsim.Electrical)
 		if err != nil {
 			return nil, err
 		}
-		opt, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+		opt, err := o.Session.RunExecutionDriven(cfg, onocsim.Optical)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +121,7 @@ func R12Hybrid(o Options) (*metrics.Table, error) {
 		for _, th := range []int{2, 4, 6} {
 			c := cfg
 			c.Hybrid.Threshold = th
-			h, err := onocsim.RunExecutionDriven(c, onocsim.Hybrid)
+			h, err := o.Session.RunExecutionDriven(c, onocsim.Hybrid)
 			if err != nil {
 				return nil, err
 			}
@@ -145,11 +145,11 @@ func R11Damping(o Options) (*metrics.Table, error) {
 		"R11 (extension) — correction-loop damping sweep (stencil kernel)",
 		"damping", "rounds", "converged", "makespan est", "err vs truth")
 	cfg := kernelConfig(o, "stencil")
-	tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+	tr, _, err := o.Session.CaptureTrace(cfg, onocsim.IdealNet)
 	if err != nil {
 		return nil, err
 	}
-	truth, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+	truth, err := o.Session.RunExecutionDriven(cfg, onocsim.Optical)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +158,7 @@ func R11Damping(o Options) (*metrics.Table, error) {
 		c := cfg
 		c.SCTM.Damping = d
 		c.SCTM.MaxIterations = 15
-		res, _, err := onocsim.RunSelfCorrection(c, tr, onocsim.Optical)
+		res, _, err := o.Session.RunSelfCorrection(c, tr, onocsim.Optical)
 		if err != nil {
 			return nil, err
 		}

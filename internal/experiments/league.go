@@ -50,7 +50,7 @@ func R15League(o Options) (*metrics.Table, error) {
 			if d.mutate != nil {
 				d.mutate(&cfg)
 			}
-			res, err := onocsim.RunExecutionDriven(cfg, d.kind)
+			res, err := o.Session.RunExecutionDriven(cfg, d.kind)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: league %s/%s: %w", k, d.name, err)
 			}

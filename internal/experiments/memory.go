@@ -30,11 +30,11 @@ func R17Memory(o Options) (*metrics.Table, error) {
 				cfg.System.L2SetsPerBank = 4
 				cfg.System.L2Ways = 1
 			}
-			elec, err := onocsim.RunExecutionDriven(cfg, onocsim.Electrical)
+			elec, err := o.Session.RunExecutionDriven(cfg, onocsim.Electrical)
 			if err != nil {
 				return nil, err
 			}
-			opt, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+			opt, err := o.Session.RunExecutionDriven(cfg, onocsim.Optical)
 			if err != nil {
 				return nil, err
 			}

@@ -29,19 +29,19 @@ func R16Seeds(o Options) (*metrics.Table, error) {
 			opts.Seed = seed
 			cfg := kernelConfig(opts, k)
 			cfg.Workload.Jitter = 0.15 // seed-driven compute variation
-			tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+			tr, _, err := o.Session.CaptureTrace(cfg, onocsim.IdealNet)
 			if err != nil {
 				return nil, err
 			}
-			truth, err := onocsim.RunExecutionDriven(cfg, onocsim.Optical)
+			truth, err := o.Session.RunExecutionDriven(cfg, onocsim.Optical)
 			if err != nil {
 				return nil, err
 			}
-			nv, _, err := onocsim.RunNaiveReplay(cfg, tr, onocsim.Optical)
+			nv, _, err := o.Session.RunNaiveReplay(cfg, tr, onocsim.Optical)
 			if err != nil {
 				return nil, err
 			}
-			sc, _, err := onocsim.RunSelfCorrection(cfg, tr, onocsim.Optical)
+			sc, _, err := o.Session.RunSelfCorrection(cfg, tr, onocsim.Optical)
 			if err != nil {
 				return nil, err
 			}

@@ -73,7 +73,7 @@ func R14WhatIf(o Options) (*metrics.Table, error) {
 	isCompute := func(e *trace.Event) bool { return e.Kind == trace.KindRequest }
 	for _, k := range kernels {
 		base := kernelConfig(o, k)
-		tr, _, err := onocsim.CaptureTrace(base, onocsim.IdealNet)
+		tr, _, err := o.Session.CaptureTrace(base, onocsim.IdealNet)
 		if err != nil {
 			return nil, err
 		}
@@ -82,13 +82,13 @@ func R14WhatIf(o Options) (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			pred, _, err := onocsim.RunSelfCorrection(base, scaled, onocsim.Optical)
+			pred, _, err := o.Session.RunSelfCorrection(base, scaled, onocsim.Optical)
 			if err != nil {
 				return nil, err
 			}
 			truthCfg := base
 			truthCfg.Workload.ComputeScale = s
-			truth, err := onocsim.RunExecutionDriven(truthCfg, onocsim.Optical)
+			truth, err := o.Session.RunExecutionDriven(truthCfg, onocsim.Optical)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -142,6 +143,42 @@ func (h *Histogram) Render(width int) string {
 		fmt.Fprintf(&b, "%s %10d %s\n", label, c, strings.Repeat("#", bar))
 	}
 	return b.String()
+}
+
+// histogramJSON mirrors the unexported state for serialization; see the
+// Summary codec for why.
+type histogramJSON struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    Summary   `json:"sum"`
+}
+
+// MarshalJSON serializes bounds, bucket counts, and the exact summary.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Bounds: h.bounds, Counts: h.counts, Sum: h.sum})
+}
+
+// UnmarshalJSON restores a histogram written by MarshalJSON. It enforces the
+// same structural invariants as NewHistogram, returning an error instead of
+// panicking on corrupt input.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var j histogramJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Bounds) == 0 {
+		return fmt.Errorf("metrics: histogram with no bounds")
+	}
+	for i := 1; i < len(j.Bounds); i++ {
+		if j.Bounds[i] <= j.Bounds[i-1] {
+			return fmt.Errorf("metrics: histogram bounds not ascending at %d", i)
+		}
+	}
+	if len(j.Counts) != len(j.Bounds)+1 {
+		return fmt.Errorf("metrics: histogram has %d counts for %d bounds", len(j.Counts), len(j.Bounds))
+	}
+	*h = Histogram{bounds: j.Bounds, counts: j.Counts, sum: j.Sum}
+	return nil
 }
 
 // Merge folds other into h. Both histograms must have identical bounds;

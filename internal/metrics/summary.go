@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -117,6 +118,35 @@ func (s *Summary) CI95() float64 {
 func (s *Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f",
 		s.n, s.Mean(), s.min, s.max, s.StdDev())
+}
+
+// summaryJSON mirrors the unexported accumulator state so summaries survive
+// serialization (the simulation result cache persists stats blocks across
+// process invocations). Every field is finite in every reachable state — the
+// zero value keeps min/max at 0 rather than ±Inf — so encoding/json can
+// always represent it.
+type summaryJSON struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Sum  float64 `json:"sum"`
+}
+
+// MarshalJSON serializes the full accumulator state.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max, Sum: s.sum})
+}
+
+// UnmarshalJSON restores a summary written by MarshalJSON.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var j summaryJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*s = Summary{n: j.N, mean: j.Mean, m2: j.M2, min: j.Min, max: j.Max, sum: j.Sum}
+	return nil
 }
 
 // RelErr returns the relative error |measured-reference|/|reference|,

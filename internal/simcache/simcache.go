@@ -1,0 +1,286 @@
+// Package simcache memoizes simulation results across an experiment session.
+//
+// The reconstructed evaluation (R1–R17) asks for the same byte-identical
+// simulations many times over: the execution-driven optical ground truth of
+// a kernel config is needed by the accuracy table, the convergence figure,
+// the case study, the power table, the league table, … Because every
+// simulation in this repository is deterministic — same validated config,
+// same result bits — the (config fingerprint, network kind, operation)
+// triple fully identifies a result, and recomputation is pure waste.
+//
+// Cache is a concurrent in-memory store with single-flight semantics: the
+// first requester of a key computes it while concurrent duplicates block on
+// the in-flight computation and share its result. A failed computation is
+// broadcast to its waiters but never cached, so transient errors do not
+// poison the session. An optional disk layer persists captured traces via
+// the binary trace codec and every other result as versioned JSON, carrying
+// simulation work across process invocations.
+package simcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"onocsim/internal/trace"
+)
+
+// Op names a cached operation. The replay ops are keyed on the capture
+// fabric too (see Key.Capture): a self-correction on an ideal-captured
+// trace is a different result from one on an electrically captured trace.
+type Op string
+
+const (
+	// OpTruth is an execution-driven ground-truth run on Key.Kind.
+	OpTruth Op = "truth"
+	// OpCapture is a trace capture on Key.Kind (the capture fabric).
+	OpCapture Op = "capture"
+	// OpNaive, OpCoupled and OpSCTM are replays targeting Key.Kind of a
+	// trace captured on Key.Capture.
+	OpNaive   Op = "naive"
+	OpCoupled Op = "coupled"
+	OpSCTM    Op = "sctm"
+	// OpSynthetic is an open-loop synthetic traffic run on Key.Kind.
+	OpSynthetic Op = "synthetic"
+)
+
+// Key identifies one simulation result.
+type Key struct {
+	// Fingerprint is config.Fingerprint() of the validated config.
+	Fingerprint string
+	// Kind is the fabric the operation ran on (the capture fabric for
+	// OpCapture, the target fabric for runs and replays).
+	Kind string
+	// Capture is the capture fabric of the replayed trace; empty for
+	// OpTruth and OpCapture.
+	Capture string
+	// Op is the operation.
+	Op Op
+}
+
+func (k Key) String() string {
+	if k.Capture != "" {
+		return fmt.Sprintf("%s/%s@%s(cap=%s)", k.Fingerprint[:12], k.Op, k.Kind, k.Capture)
+	}
+	return fmt.Sprintf("%s/%s@%s", k.Fingerprint[:12], k.Op, k.Kind)
+}
+
+// entry is one in-flight or settled computation. done is closed exactly
+// once, after val/err are written; waiters block on it without holding the
+// cache lock.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Stats counts cache traffic; all fields are monotone.
+type Stats struct {
+	// Misses is the number of computations actually run.
+	Misses uint64
+	// Hits is the number of requests served from a settled entry.
+	Hits uint64
+	// Waits is the number of requests that blocked on an in-flight
+	// computation (the single-flight dedup at work).
+	Waits uint64
+	// DiskHits is the number of trace loads served by the disk layer.
+	DiskHits uint64
+}
+
+// Cache is a concurrent memoization table for simulation results.
+// The zero value is not usable; construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	stats   Stats
+	dir     string
+}
+
+// New returns an empty cache. dir, when non-empty, enables the disk layer:
+// captured traces are persisted as <dir>/<key>.sctm via the binary codec,
+// every other result as versioned <dir>/<key>.json, and both are reloaded by
+// later invocations (the directory is created on first write).
+func New(dir string) *Cache {
+	return &Cache{entries: map[Key]*entry{}, dir: dir}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Do returns the cached value for key, computing it via compute on a miss.
+// Concurrent callers with the same key block on the first caller's
+// computation and share its result (or its error). Errors are propagated to
+// every waiter of the failing flight but are not cached: the next request
+// for the key computes afresh.
+func (c *Cache) Do(key Key, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.done:
+			c.stats.Hits++
+		default:
+			c.stats.Waits++
+		}
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	e.val, e.err = compute()
+	if e.err != nil {
+		// Failed flights are evicted before waiters are released: a
+		// request arriving after the eviction retries the computation,
+		// one arriving before it shares the error.
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// tracePath places a persisted trace under the disk layer's directory. The
+// fingerprint is hex and the remaining parts are fabric/op names, so the
+// name needs no escaping.
+func (c *Cache) tracePath(key Key) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%s-%s-%s.sctm", key.Fingerprint, key.Kind, key.Op))
+}
+
+// valuePath places a persisted non-trace result under the disk layer's
+// directory. Replay keys carry the capture identity ("fp@kind"), which is
+// filename-safe as is.
+func (c *Cache) valuePath(key Key) string {
+	name := fmt.Sprintf("%s-%s-%s", key.Fingerprint, key.Kind, key.Op)
+	if key.Capture != "" {
+		name += "-" + key.Capture
+	}
+	return filepath.Join(c.dir, name+".json")
+}
+
+// writeAtomic persists data at path via a per-process temp file and rename,
+// so a concurrent invocation never reads a half-written file. Failures are
+// swallowed: a read-only or full cache directory degrades to in-memory
+// caching rather than failing the run.
+func (c *Cache) writeAtomic(path string, write func(string) error) {
+	if os.MkdirAll(c.dir, 0o755) != nil {
+		return
+	}
+	tmp := fmt.Sprintf("%s.%d.tmp", path, os.Getpid())
+	if err := write(tmp); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if os.Rename(tmp, path) != nil {
+		os.Remove(tmp)
+	}
+}
+
+// valueFormatVersion guards persisted results against schema drift: decoding
+// a result struct from JSON written for an older field layout would silently
+// zero-fill, so bump this whenever a cached result type changes shape and
+// stale files become plain misses.
+const valueFormatVersion = 1
+
+// diskValue is the on-disk envelope for non-trace results.
+type diskValue struct {
+	Version int             `json:"version"`
+	Value   json.RawMessage `json:"value"`
+}
+
+// DoValue memoizes a typed simulation result, additionally consulting the
+// disk layer when one is configured: results are persisted as versioned JSON
+// and reloaded across invocations, the same lifecycle DoTrace gives traces.
+// T must round-trip through encoding/json (the repository's result structs
+// either are plain data or provide codecs). Like DoTrace, persistence is
+// best-effort and failures degrade silently to in-memory caching.
+func DoValue[T any](c *Cache, key Key, compute func() (T, error)) (T, error) {
+	v, err := c.Do(key, func() (any, error) {
+		if c.dir != "" {
+			if data, err := os.ReadFile(c.valuePath(key)); err == nil {
+				var env diskValue
+				if json.Unmarshal(data, &env) == nil && env.Version == valueFormatVersion {
+					var out T
+					if json.Unmarshal(env.Value, &out) == nil {
+						c.mu.Lock()
+						c.stats.DiskHits++
+						c.mu.Unlock()
+						return out, nil
+					}
+				}
+			}
+		}
+		out, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if c.dir != "" {
+			if raw, jerr := json.Marshal(out); jerr == nil {
+				data, _ := json.Marshal(diskValue{Version: valueFormatVersion, Value: raw})
+				c.writeAtomic(c.valuePath(key), func(tmp string) error {
+					return os.WriteFile(tmp, data, 0o644)
+				})
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// tracePair is the cached value of a capture: the trace plus the wall time
+// it cost to obtain (capture time on a compute, load time on a disk hit).
+// Storing the timing inside the entry keeps duplicate requesters' reported
+// walls identical to the original flight's, with no side-channel races.
+type tracePair struct {
+	tr   *trace.Trace
+	wall time.Duration
+}
+
+// DoTrace memoizes a trace capture, additionally consulting the disk layer
+// when one is configured: a miss first tries to load the persisted trace,
+// and a computed trace is persisted for future invocations. Persistence
+// failures degrade silently to in-memory caching: a read-only or full cache
+// directory must not fail the run. The returned duration is what the trace
+// cost the first flight — a full capture, or a disk load.
+func (c *Cache) DoTrace(key Key, compute func() (*trace.Trace, time.Duration, error)) (*trace.Trace, time.Duration, error) {
+	v, err := c.Do(key, func() (any, error) {
+		if c.dir != "" {
+			start := time.Now()
+			if tr, err := trace.LoadFile(c.tracePath(key)); err == nil {
+				c.mu.Lock()
+				c.stats.DiskHits++
+				c.mu.Unlock()
+				return tracePair{tr: tr, wall: time.Since(start)}, nil
+			}
+		}
+		tr, wall, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if c.dir != "" {
+			c.writeAtomic(c.tracePath(key), func(tmp string) error {
+				return trace.SaveFile(tmp, tr)
+			})
+		}
+		return tracePair{tr: tr, wall: wall}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	p := v.(tracePair)
+	return p.tr, p.wall, nil
+}

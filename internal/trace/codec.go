@@ -146,6 +146,14 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		RefMakespan: sim.Tick(makespan),
 		Events:      make([]Event, nevents),
 	}
+	// All dependency edges land in one shared arena instead of one slice
+	// allocation per event, keeping the decoder's allocation count constant
+	// in the event count. Events get subslices of the arena only after the
+	// read completes: appending while handing out subslices would leave
+	// earlier events pointing into abandoned backing arrays. depCounts
+	// remembers each event's edge count for that final assignment.
+	arena := make([]Dep, 0, 2*nevents)
+	depCounts := make([]uint32, nevents)
 	for i := range t.Events {
 		e := &t.Events[i]
 		e.ID = EventID(i + 1)
@@ -168,23 +176,31 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		if ndeps > uint64(i)+1 {
 			return nil, fmt.Errorf("trace: event %d claims %d deps", e.ID, ndeps)
 		}
-		if ndeps > 0 {
-			e.Deps = make([]Dep, ndeps)
-			for k := range e.Deps {
-				delta, err := getU("dep id")
-				if err != nil {
-					return nil, err
-				}
-				if delta == 0 || delta >= uint64(e.ID) {
-					return nil, fmt.Errorf("trace: event %d has invalid dep delta %d", e.ID, delta)
-				}
-				cls, err := getU("dep class")
-				if err != nil {
-					return nil, err
-				}
-				e.Deps[k] = Dep{On: e.ID - EventID(delta), Class: DepClass(cls)}
+		depCounts[i] = uint32(ndeps)
+		for k := uint64(0); k < ndeps; k++ {
+			delta, err := getU("dep id")
+			if err != nil {
+				return nil, err
 			}
+			if delta == 0 || delta >= uint64(e.ID) {
+				return nil, fmt.Errorf("trace: event %d has invalid dep delta %d", e.ID, delta)
+			}
+			cls, err := getU("dep class")
+			if err != nil {
+				return nil, err
+			}
+			arena = append(arena, Dep{On: e.ID - EventID(delta), Class: DepClass(cls)})
 		}
+	}
+	off := 0
+	for i := range t.Events {
+		n := int(depCounts[i])
+		if n > 0 {
+			// Full-capacity subslices, so an append through one event's
+			// Deps can never silently overwrite its neighbor's.
+			t.Events[i].Deps = arena[off : off+n : off+n]
+		}
+		off += n
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

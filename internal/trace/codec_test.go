@@ -76,6 +76,44 @@ func TestBinaryRoundTripProperty(t *testing.T) {
 	}
 }
 
+func TestReadBinaryAllocsConstant(t *testing.T) {
+	// The decoder allocates a fixed number of times regardless of trace
+	// size: events come from one slice, dependency edges from one shared
+	// arena. A per-event allocation would put the count in the thousands
+	// here and fail loudly.
+	rng := sim.NewRNG(7)
+	tr := &Trace{Nodes: 8, Workload: "allocs", RefMakespan: 1 << 30}
+	now := sim.Tick(0)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		id := EventID(i + 1)
+		e := Event{ID: id, Src: rng.Intn(8), Dst: rng.Intn(8), Bytes: 64, Gap: 1}
+		for d := 0; d < rng.Intn(3) && i > 0; d++ {
+			e.Deps = append(e.Deps, Dep{On: EventID(1 + rng.Intn(i))})
+		}
+		e.Deps = dedupeDeps(e.Deps, id)
+		now += e.Gap + 1
+		e.RefInject = now
+		e.RefArrive = now + 10
+		tr.Events = append(tr.Events, e)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Generous fixed budget: reader plumbing plus the handful of one-shot
+	// slices. The point is O(1), not the exact figure.
+	if allocs > 64 {
+		t.Fatalf("ReadBinary allocated %.0f times for %d events; want a constant well under 64", allocs, n)
+	}
+}
+
 func TestBinaryRejectsCorruption(t *testing.T) {
 	tr := tinyTrace()
 	var buf bytes.Buffer

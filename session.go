@@ -1,0 +1,350 @@
+package onocsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"onocsim/internal/config"
+	"onocsim/internal/simcache"
+	"onocsim/internal/trace"
+)
+
+// Session memoizes simulation results. Every simulation in this package is
+// deterministic — the same validated config produces bit-identical results —
+// so a (config fingerprint, fabric kind, operation) triple fully identifies
+// a result and never needs computing twice. A Session carries that cache as
+// an explicit handle: library users opt in by routing calls through one, and
+// code holding no Session (or a nil *Session — every method is nil-safe)
+// gets the plain uncached functions.
+//
+// Concurrent requests for the same result are single-flighted: the first
+// computes, duplicates block and share. Cached wall-clock fields (e.g.
+// GroundTruth.WallTime) report the original computation's timing.
+//
+// A Session is safe for concurrent use by multiple goroutines.
+type Session struct {
+	cache *simcache.Cache
+
+	// mu guards traces. The registry remembers which *Trace values this
+	// session produced and under which key, so replay results can be
+	// memoized: a replay is only cacheable when the identity of its input
+	// trace is known. Traces from elsewhere (transformed, hand-built,
+	// loaded from a file) replay uncached — correct, just not memoized.
+	mu     sync.Mutex
+	traces map[*Trace]simcache.Key
+}
+
+// NewSession returns an empty session. cacheDir optionally enables the disk
+// layer: captured traces (binary trace codec) and simulation results
+// (versioned JSON) are persisted there and reloaded by later invocations;
+// pass "" for a purely in-memory session.
+func NewSession(cacheDir string) *Session {
+	return &Session{cache: simcache.New(cacheDir), traces: map[*Trace]simcache.Key{}}
+}
+
+// CacheStats reports cache traffic; zero for a nil session.
+func (s *Session) CacheStats() simcache.Stats {
+	if s == nil {
+		return simcache.Stats{}
+	}
+	return s.cache.Stats()
+}
+
+// normalizeFor strips the config sections an operation cannot observe
+// before fingerprinting, so parameter sweeps dedup everything the swept
+// parameter does not touch: an optical-loss sweep reuses one ideal-fabric
+// capture across every point, an SCTM-window sweep reuses one ground truth.
+// Masked sections are replaced by their defaults (not zeroed) so the
+// normalized config still validates. The masking must be exact — keeping an
+// unread field only costs cache hits, but masking a read one would alias
+// distinct results — so each rule cites what the operations actually read.
+func normalizeFor(cfg Config, kind NetworkKind, op simcache.Op) Config {
+	def := config.Default()
+	n := cfg
+	// Every cached operation receives its fabric kind explicitly; the
+	// config's own Network field only picks a default elsewhere.
+	n.Network = def.Network
+	// SCTM parameters feed only the correction engine and the coupled
+	// replay's two dependency toggles.
+	switch op {
+	case simcache.OpSCTM:
+	case simcache.OpCoupled:
+		sc := cfg.SCTM
+		n.SCTM = def.SCTM
+		n.SCTM.DisableSyncDeps = sc.DisableSyncDeps
+		n.SCTM.DisableCausalDeps = sc.DisableCausalDeps
+	default:
+		n.SCTM = def.SCTM
+	}
+	// Replays observe only the target fabric (plus the toggles above): the
+	// program generation inputs are baked into the trace, whose identity is
+	// keyed separately via Key.Capture.
+	switch op {
+	case simcache.OpNaive, simcache.OpCoupled, simcache.OpSCTM:
+		n.Seed = def.Seed
+		n.System = def.System
+		n.Workload = def.Workload
+		n.MaxCycles = def.MaxCycles
+	}
+	// Fabric sections are read only when a network of their kind is built,
+	// with two scalar exceptions handled below.
+	if kind != config.NetElectrical && kind != config.NetHybrid {
+		flit := n.Mesh.FlitBytes
+		n.Mesh = def.Mesh
+		// The electrical flit granularity prices synthetic offered load on
+		// every fabric.
+		n.Mesh.FlitBytes = flit
+	}
+	if kind != config.NetOptical && kind != config.NetHybrid {
+		clk := n.Optical.ClockGHz
+		n.Optical = def.Optical
+		if op == simcache.OpTruth && kind != config.NetElectrical {
+			// Ground truth converts cycles to watts at the optical system
+			// clock on every non-electrical fabric, ideal included.
+			n.Optical.ClockGHz = clk
+		}
+	}
+	if kind != config.NetIdeal {
+		n.Ideal = def.Ideal
+	}
+	if kind != config.NetHybrid {
+		n.Hybrid = def.Hybrid
+	}
+	return n
+}
+
+// sessionKey builds the cache key for an operation on a validated config.
+func sessionKey(cfg Config, kind NetworkKind, op simcache.Op) (simcache.Key, error) {
+	norm := normalizeFor(cfg, kind, op)
+	fp, err := norm.Fingerprint()
+	if err != nil {
+		return simcache.Key{}, err
+	}
+	return simcache.Key{Fingerprint: fp, Kind: string(kind), Op: op}, nil
+}
+
+// replayVal and corrVal wrap replay results with their timings so cached
+// hits — memory or disk — report the original computation's wall clock.
+// Fields are exported for the disk layer's JSON envelope.
+type (
+	replayVal struct {
+		Res  ReplayResult
+		Wall time.Duration
+	}
+	corrVal struct {
+		Res  CorrectionResult
+		Wall time.Duration
+	}
+)
+
+// RunExecutionDriven is the memoized form of the package function.
+func (s *Session) RunExecutionDriven(cfg Config, kind NetworkKind) (GroundTruth, error) {
+	if s == nil {
+		return RunExecutionDriven(cfg, kind)
+	}
+	key, err := sessionKey(cfg, kind, simcache.OpTruth)
+	if err != nil {
+		return GroundTruth{}, err
+	}
+	return simcache.DoValue(s.cache, key, func() (GroundTruth, error) {
+		return RunExecutionDriven(cfg, kind)
+	})
+}
+
+// CaptureTrace is the memoized form of the package function. The returned
+// trace is shared: replay engines treat traces as read-only, so one capture
+// serves any number of concurrent replays. With a disk-layer session, the
+// capture may be satisfied by a trace persisted by an earlier invocation, in
+// which case the reported wall time is the (much smaller) load time.
+func (s *Session) CaptureTrace(cfg Config, captureOn NetworkKind) (*Trace, time.Duration, error) {
+	if s == nil {
+		return CaptureTrace(cfg, captureOn)
+	}
+	key, err := sessionKey(cfg, captureOn, simcache.OpCapture)
+	if err != nil {
+		return nil, 0, err
+	}
+	tr, wall, err := s.cache.DoTrace(key, func() (*trace.Trace, time.Duration, error) {
+		return CaptureTrace(cfg, captureOn)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	if _, ok := s.traces[tr]; !ok {
+		s.traces[tr] = key
+	}
+	s.mu.Unlock()
+	return tr, wall, nil
+}
+
+// replayKey keys a replay of tr targeting kind under the replay config. The
+// trace's own capture key is folded in, so replays of traces captured on
+// different fabrics (or under different configs) never collide. ok is false
+// when the trace is unknown to the session and the replay must run uncached.
+func (s *Session) replayKey(cfg Config, tr *Trace, kind NetworkKind, op simcache.Op) (simcache.Key, bool, error) {
+	s.mu.Lock()
+	capKey, ok := s.traces[tr]
+	s.mu.Unlock()
+	if !ok {
+		return simcache.Key{}, false, nil
+	}
+	key, err := sessionKey(cfg, kind, op)
+	if err != nil {
+		return simcache.Key{}, false, err
+	}
+	key.Capture = capKey.Fingerprint + "@" + capKey.Kind
+	return key, true, nil
+}
+
+// RunNaiveReplay is the memoized form of the package function. Replays of
+// traces not produced by this session's CaptureTrace run uncached.
+func (s *Session) RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	if s == nil {
+		return RunNaiveReplay(cfg, tr, kind)
+	}
+	return s.memoReplay(cfg, tr, kind, simcache.OpNaive, RunNaiveReplay)
+}
+
+// RunCoupledReplay is the memoized form of the package function.
+func (s *Session) RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	if s == nil {
+		return RunCoupledReplay(cfg, tr, kind)
+	}
+	return s.memoReplay(cfg, tr, kind, simcache.OpCoupled, RunCoupledReplay)
+}
+
+// memoReplay implements the shared memoization shape of the two replays.
+func (s *Session) memoReplay(cfg Config, tr *Trace, kind NetworkKind, op simcache.Op,
+	run func(Config, *Trace, NetworkKind) (ReplayResult, time.Duration, error)) (ReplayResult, time.Duration, error) {
+	key, ok, err := s.replayKey(cfg, tr, kind, op)
+	if err != nil {
+		return ReplayResult{}, 0, err
+	}
+	if !ok {
+		return run(cfg, tr, kind)
+	}
+	rv, err := simcache.DoValue(s.cache, key, func() (replayVal, error) {
+		res, wall, err := run(cfg, tr, kind)
+		if err != nil {
+			return replayVal{}, err
+		}
+		return replayVal{Res: res, Wall: wall}, nil
+	})
+	if err != nil {
+		return ReplayResult{}, 0, err
+	}
+	return rv.Res, rv.Wall, nil
+}
+
+// RunSelfCorrection is the memoized form of the package function.
+func (s *Session) RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
+	if s == nil {
+		return RunSelfCorrection(cfg, tr, kind)
+	}
+	key, ok, err := s.replayKey(cfg, tr, kind, simcache.OpSCTM)
+	if err != nil {
+		return CorrectionResult{}, 0, err
+	}
+	if !ok {
+		return RunSelfCorrection(cfg, tr, kind)
+	}
+	cv, err := simcache.DoValue(s.cache, key, func() (corrVal, error) {
+		res, wall, err := RunSelfCorrection(cfg, tr, kind)
+		if err != nil {
+			return corrVal{}, err
+		}
+		return corrVal{Res: res, Wall: wall}, nil
+	})
+	if err != nil {
+		return CorrectionResult{}, 0, err
+	}
+	return cv.Res, cv.Wall, nil
+}
+
+// RunSyntheticLoad is the memoized form of the package function.
+func (s *Session) RunSyntheticLoad(cfg Config, kind NetworkKind) (SyntheticResult, error) {
+	if s == nil {
+		return RunSyntheticLoad(cfg, kind)
+	}
+	key, err := sessionKey(cfg, kind, simcache.OpSynthetic)
+	if err != nil {
+		return SyntheticResult{}, err
+	}
+	return simcache.DoValue(s.cache, key, func() (SyntheticResult, error) {
+		return RunSyntheticLoad(cfg, kind)
+	})
+}
+
+// RunStudy executes the complete methodology comparison through the
+// session: capture the trace on the cheap reference fabric, measure
+// execution-driven ground truth on the target, and evaluate every replay
+// engine against it.
+//
+// The phases form a two-stage pipeline. Trace capture and execution-driven
+// ground truth are independent, so they run in parallel; the three replay
+// engines need only the captured trace, so they start as soon as capture
+// finishes — typically while the (much slower) ground-truth run is still
+// going. Concurrency is bounded by the process-wide simulation-slot
+// semaphore held inside each leaf operation. Every simulation is
+// self-contained (own fabric, own RNG streams, own message pools), so the
+// results are bit-identical to the sequential schedule; with a non-nil
+// session, any phase whose result is already cached (or concurrently being
+// computed by another study) is deduplicated instead of re-run.
+func (s *Session) RunStudy(cfg Config, target NetworkKind) (*Study, error) {
+	if err := ValidateNetworkKind(cfg, target); err != nil {
+		return nil, err
+	}
+	st := &Study{Workload: cfg.Workload.Kernel, Target: target}
+
+	var wg sync.WaitGroup
+	var truthErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st.Truth, truthErr = s.RunExecutionDriven(cfg, target)
+	}()
+
+	// Capture runs on the calling goroutine: the replay engines block on it.
+	tr, capWall, capErr := s.CaptureTrace(cfg, config.NetIdeal)
+	if capErr != nil {
+		wg.Wait()
+		return nil, fmt.Errorf("onocsim: capture: %w", capErr)
+	}
+	st.Trace = tr
+	st.CaptureWall = capWall
+
+	var naiveErr, coupErr, sctmErr error
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		st.Naive, st.NaiveWall, naiveErr = s.RunNaiveReplay(cfg, tr, target)
+	}()
+	go func() {
+		defer wg.Done()
+		st.Coupled, st.CoupledWall, coupErr = s.RunCoupledReplay(cfg, tr, target)
+	}()
+	go func() {
+		defer wg.Done()
+		st.SCTM, st.SCTMWall, sctmErr = s.RunSelfCorrection(cfg, tr, target)
+	}()
+	wg.Wait()
+
+	if truthErr != nil {
+		return nil, fmt.Errorf("onocsim: ground truth: %w", truthErr)
+	}
+	if naiveErr != nil {
+		return nil, fmt.Errorf("onocsim: naive replay: %w", naiveErr)
+	}
+	if coupErr != nil {
+		return nil, fmt.Errorf("onocsim: coupled replay: %w", coupErr)
+	}
+	if sctmErr != nil {
+		return nil, fmt.Errorf("onocsim: self-correction: %w", sctmErr)
+	}
+	st.NaiveAcc = Compare(st.Naive, st.Truth)
+	st.CoupAcc = Compare(st.Coupled, st.Truth)
+	st.SCTMAcc = Compare(st.SCTM.Final, st.Truth)
+	return st, nil
+}
