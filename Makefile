@@ -16,20 +16,25 @@ vet:
 test:
 	$(GO) test ./...
 
-# The simulators are single-goroutine by design; the race detector guards
-# the experiment harness's concurrent study fan-out.
+# The serial simulators are single-goroutine by design; the race detector
+# guards the experiment harness's concurrent study fan-out and the sharded
+# conservative-lookahead engine (barrier protocol in internal/sim, shard
+# partition/merge in internal/core).
 test-race:
-	$(GO) test -race ./internal/experiments/ .
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/core/ .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark snapshot: runs the root-package benchmarks plus
-# the engine micro-benchmarks, folds the results into BENCH_PR2.json against
-# the committed BENCH_PR1.json reference, and fails on a >25% regression so
-# the PR 1 hot-loop wins stay locked in.
+# the engine micro-benchmarks, folds the results into $(BENCH_OUT) against
+# the committed $(BENCH_BASE) reference, and fails on a >25% regression so
+# earlier PRs' performance wins stay locked in. Override the variables to
+# re-baseline, e.g. `make bench-json BENCH_OUT=tmp.json BENCH_BASE=BENCH_PR3.json`.
+BENCH_OUT ?= BENCH_PR3.json
+BENCH_BASE ?= BENCH_PR2.json
 bench-json:
-	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ | $(GO) run ./cmd/benchjson -out BENCH_PR2.json -baseline BENCH_PR1.json -maxregress 25
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress 25
 
 # Regenerate the full evaluation (R1–R16) at paper scale.
 report:

@@ -234,8 +234,21 @@ func CaptureTrace(cfg Config, captureOn NetworkKind) (*Trace, time.Duration, err
 }
 
 // RunNaiveReplay replays the trace at recorded timestamps on a fresh fabric
-// of the given kind.
+// of the given kind. With cfg.Parallelism.Shards > 1 the replay runs on the
+// sharded conservative-lookahead engine; results are byte-identical either
+// way.
 func RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	if shards := cfg.Parallelism.Shards; shards > 1 {
+		factory, err := NetworkFactory(cfg, kind)
+		if err != nil {
+			return ReplayResult{}, 0, err
+		}
+		acquireSimSlot()
+		defer releaseSimSlot()
+		start := time.Now()
+		res, err := core.NaiveReplaySharded(factory, tr, shards)
+		return res, time.Since(start), err
+	}
 	net, err := BuildNetwork(cfg, kind)
 	if err != nil {
 		return ReplayResult{}, 0, err
@@ -265,7 +278,9 @@ func RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, ti
 }
 
 // RunSelfCorrection runs the Self-Correction Trace Model against a fresh
-// fabric per iteration.
+// fabric per iteration. With cfg.Parallelism.Shards > 1 every round's replay
+// runs on the sharded conservative-lookahead engine; the trajectory and
+// result are byte-identical for any shard count.
 func RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
 	factory, err := NetworkFactory(cfg, kind)
 	if err != nil {
@@ -274,7 +289,7 @@ func RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResul
 	acquireSimSlot()
 	defer releaseSimSlot()
 	start := time.Now()
-	res, err := core.SelfCorrect(factory, tr, cfg.SCTM)
+	res, err := core.SelfCorrectSharded(factory, tr, cfg.SCTM, cfg.Parallelism.Shards)
 	return res, time.Since(start), err
 }
 

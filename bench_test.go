@@ -10,6 +10,7 @@ package onocsim_test
 
 import (
 	"io"
+	"sync"
 	"testing"
 
 	"onocsim"
@@ -226,6 +227,82 @@ func BenchmarkSyntheticUniform(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Sharded replay benchmarks ---
+
+// shardBench holds the one captured trace shared by the sharded-replay
+// benchmarks; capture cost is paid once and excluded from every timing loop.
+var shardBench struct {
+	once sync.Once
+	cfg  onocsim.Config
+	tr   *trace.Trace
+	err  error
+}
+
+func shardBenchTrace(b *testing.B) (onocsim.Config, *trace.Trace) {
+	b.Helper()
+	s := &shardBench
+	s.once.Do(func() {
+		cfg := onocsim.DefaultConfig()
+		cfg.System.Cores = 64
+		cfg.Workload.Scale = 8
+		cfg.Workload.Iterations = 2
+		s.cfg = cfg
+		s.tr, _, s.err = onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.cfg, s.tr
+}
+
+// benchReplayShards measures a naive trace replay on the optical crossbar
+// split across K shards of the conservative-lookahead engine. Results are
+// byte-identical across K (the shard-invariance tests assert it); only
+// wall-clock moves, and only on hosts with spare cores. The replayer is
+// built outside the loop so fabric reuse matches the serial engine's.
+func benchReplayShards(b *testing.B, shards int) {
+	cfg, tr := shardBenchTrace(b)
+	factory, err := onocsim.NetworkFactory(cfg, onocsim.Optical)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inject := make([]onocsim.Tick, len(tr.Events))
+	for i := range tr.Events {
+		inject[i] = tr.Events[i].RefInject
+	}
+	r := core.NewShardedReplayer(factory, shards)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Replay(tr, inject); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.NumEvents()), "events")
+}
+
+func BenchmarkReplayShards1(b *testing.B) { benchReplayShards(b, 1) }
+func BenchmarkReplayShards2(b *testing.B) { benchReplayShards(b, 2) }
+func BenchmarkReplayShards4(b *testing.B) { benchReplayShards(b, 4) }
+func BenchmarkReplayShards8(b *testing.B) { benchReplayShards(b, 8) }
+
+// BenchmarkSelfCorrectionShards8 measures the full correction loop with
+// every replay round split across 8 shards (compare BenchmarkSelfCorrection
+// for the serial loop on a smaller chip).
+func BenchmarkSelfCorrectionShards8(b *testing.B) {
+	cfg, tr := shardBenchTrace(b)
+	factory, err := onocsim.NetworkFactory(cfg, onocsim.Optical)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SelfCorrectSharded(factory, tr, cfg.SCTM, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.NumEvents()), "events")
 }
 
 // BenchmarkR13Photonics regenerates the loss-budget sensitivity table (R13).

@@ -16,26 +16,36 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"onocsim"
 	"onocsim/internal/experiments"
 	"onocsim/internal/metrics"
+	"onocsim/internal/prof"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (r1..r17) or 'all'")
-		cores    = flag.Int("cores", 64, "core count for kernel experiments")
-		seed     = flag.Uint64("seed", 42, "experiment seed")
-		quick    = flag.Bool("quick", false, "shrink sweeps (CI-sized)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of ASCII")
-		outdir   = flag.String("outdir", "", "also write one CSV file per experiment into this directory")
-		parallel = flag.Bool("parallel", false, "fan experiments out concurrently, deduplicating shared simulations (tables are byte-identical apart from wall-clock cells)")
-		cachedir = flag.String("cachedir", "", "persist captured traces here and reload them across invocations (implies result memoization)")
-		verbose  = flag.Bool("v", false, "report cache statistics on stderr")
+		exp        = flag.String("exp", "all", "experiment id (r1..r17) or 'all'")
+		cores      = flag.Int("cores", 64, "core count for kernel experiments")
+		seed       = flag.Uint64("seed", 42, "experiment seed")
+		quick      = flag.Bool("quick", false, "shrink sweeps (CI-sized)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of ASCII")
+		outdir     = flag.String("outdir", "", "also write one CSV file per experiment into this directory")
+		parallel   = flag.Bool("parallel", false, "fan experiments out concurrently, deduplicating shared simulations (tables are byte-identical apart from wall-clock cells)")
+		cachedir   = flag.String("cachedir", "", "persist captured traces here and reload them across invocations (implies result memoization)")
+		shards     = flag.Int("shards", 0, "shard count for replay-family simulations (0: one per CPU; tables are identical for any count)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		verbose    = flag.Bool("v", false, "report cache statistics on stderr")
 	)
 	flag.Parse()
-	opts := experiments.Options{Seed: *seed, Cores: *cores, Quick: *quick, Parallel: *parallel}
+	// Sharded replay is byte-identical to serial for any count, so the
+	// default exploits whatever the host offers.
+	if *shards == 0 {
+		*shards = runtime.NumCPU()
+	}
+	opts := experiments.Options{Seed: *seed, Cores: *cores, Quick: *quick, Parallel: *parallel, Shards: *shards}
 	// One session serves the whole invocation, so every experiment —
 	// whether run via -exp all or singly — shares one memo table. The
 	// scheduler would create its own; making it here too lets a plain
@@ -44,7 +54,13 @@ func main() {
 	if *parallel || *cachedir != "" {
 		opts.Session = onocsim.NewSession(*cachedir)
 	}
-	err := run(*exp, opts, *csv, *outdir)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err == nil {
+		err = run(*exp, opts, *csv, *outdir)
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
 	if *verbose && opts.Session != nil {
 		st := opts.Session.CacheStats()
 		fmt.Fprintf(os.Stderr, "expreport: cache: %d computed, %d hits, %d single-flight waits, %d disk hits\n",

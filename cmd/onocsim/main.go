@@ -18,10 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"onocsim"
 	"onocsim/internal/config"
 	"onocsim/internal/metrics"
+	"onocsim/internal/prof"
 )
 
 func main() {
@@ -31,15 +33,25 @@ func main() {
 		mode       = flag.String("mode", "exec", "run mode: exec | study")
 		format     = flag.String("format", "ascii", "output format: ascii | json")
 		dumpConfig = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
+		shards     = flag.Int("shards", 0, "shard count for replay-family simulations (0: one per CPU, capped at the core count; results are identical for any count)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*cfgPath, *network, *mode, *format, *dumpConfig); err != nil {
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err == nil {
+		err = run(*cfgPath, *network, *mode, *format, *dumpConfig, *shards)
+	}
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "onocsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfgPath, network, mode, format string, dumpConfig bool) error {
+func run(cfgPath, network, mode, format string, dumpConfig bool, shards int) error {
 	if format != "ascii" && format != "json" {
 		return fmt.Errorf("unknown format %q (want ascii or json)", format)
 	}
@@ -53,6 +65,13 @@ func run(cfgPath, network, mode, format string, dumpConfig bool) error {
 	}
 	kind := onocsim.NetworkKind(network)
 	cfg.Network = kind
+	// Sharding is byte-identical to serial execution for any count, so the
+	// default exploits whatever the host offers; the replayer itself caps
+	// the count at the chip's node count.
+	if shards == 0 {
+		shards = runtime.NumCPU()
+	}
+	cfg.Parallelism.Shards = shards
 
 	if dumpConfig {
 		return cfg.Save("/dev/stdout")

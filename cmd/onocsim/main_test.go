@@ -23,40 +23,46 @@ func smallCfgFile(t *testing.T) string {
 
 func TestRunExecMode(t *testing.T) {
 	for _, network := range []string{"ideal", "electrical", "optical"} {
-		if err := run(smallCfgFile(t), network, "exec", "ascii", false); err != nil {
+		if err := run(smallCfgFile(t), network, "exec", "ascii", false, 0); err != nil {
 			t.Fatalf("exec on %s: %v", network, err)
 		}
 	}
 }
 
 func TestRunStudyMode(t *testing.T) {
-	if err := run(smallCfgFile(t), "optical", "study", "ascii", false); err != nil {
+	if err := run(smallCfgFile(t), "optical", "study", "ascii", false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStudyModeSharded(t *testing.T) {
+	if err := run(smallCfgFile(t), "optical", "study", "ascii", false, 4); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSONFormats(t *testing.T) {
 	cfgPath := smallCfgFile(t)
-	if err := run(cfgPath, "optical", "exec", "json", false); err != nil {
+	if err := run(cfgPath, "optical", "exec", "json", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfgPath, "optical", "study", "json", false); err != nil {
+	if err := run(cfgPath, "optical", "study", "json", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfgPath, "optical", "exec", "yaml", false); err == nil {
+	if err := run(cfgPath, "optical", "exec", "yaml", false, 0); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }
 
 func TestRunRejections(t *testing.T) {
 	cfgPath := smallCfgFile(t)
-	if err := run(cfgPath, "optical", "teleport", "ascii", false); err == nil {
+	if err := run(cfgPath, "optical", "teleport", "ascii", false, 0); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
-	if err := run(cfgPath, "warp", "exec", "ascii", false); err == nil {
+	if err := run(cfgPath, "warp", "exec", "ascii", false, 0); err == nil {
 		t.Fatal("unknown network accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope.json"), "optical", "exec", "ascii", false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), "optical", "exec", "ascii", false, 0); err == nil {
 		t.Fatal("missing config accepted")
 	}
 }

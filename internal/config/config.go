@@ -48,6 +48,22 @@ type Config struct {
 	// MaxCycles bounds any single simulation; 0 means the package default
 	// (a safety net against livelocked protocols, not a tuning knob).
 	MaxCycles int64 `json:"max_cycles"`
+
+	// Parallelism tunes intra-run execution; it can never change results.
+	Parallelism Parallelism `json:"parallelism"`
+}
+
+// Parallelism configures deterministic intra-run parallel execution. It is a
+// pure wall-clock knob: the sharded engine is byte-identical to the serial
+// one for any shard count, which is why this section is excluded from
+// Fingerprint — cached results remain valid whatever the setting.
+type Parallelism struct {
+	// Shards is the number of conservative-lookahead shards replay-style
+	// simulations run across. 0 and 1 both mean serial; the effective
+	// count is clamped to the node count, and fabrics whose traffic does
+	// not factorize per node (the wormhole mesh, the hybrid fabric) fall
+	// back to serial regardless.
+	Shards int `json:"shards"`
 }
 
 // System describes the CMP substrate: core count and the cache hierarchy.
@@ -283,6 +299,7 @@ func Default() Config {
 			Damping:           0,
 			MakespanTolerance: 0.01,
 		},
+		Parallelism: Parallelism{Shards: 1},
 	}
 }
 
@@ -422,6 +439,12 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxCycles < 0 {
 		return fmt.Errorf("config: max_cycles must be ≥0")
+	}
+	if c.Parallelism.Shards < 0 {
+		return fmt.Errorf("config: parallelism.shards must be ≥0")
+	}
+	if c.Parallelism.Shards > 1<<16 {
+		return fmt.Errorf("config: parallelism.shards=%d is implausibly large", c.Parallelism.Shards)
 	}
 	return nil
 }

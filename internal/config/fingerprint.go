@@ -25,8 +25,12 @@ const fingerprintVersion = 1
 // cache key.
 //
 // Name is deliberately excluded: it labels reports and does not influence
-// simulation results. Everything else — seed, system geometry, all fabric
-// parameters, workload, and SCTM knobs — is included.
+// simulation results. Parallelism is excluded for the same reason — the
+// sharded engine is byte-identical to the serial one for any shard count, so
+// folding it in would only split the cache for equal results (and excluding
+// it keeps fingerprints, hence persisted disk caches, stable across the
+// setting). Everything else — seed, system geometry, all fabric parameters,
+// workload, and SCTM knobs — is included.
 func (c *Config) Fingerprint() (string, error) {
 	if err := c.Validate(); err != nil {
 		return "", fmt.Errorf("config: fingerprint of invalid config: %w", err)

@@ -70,11 +70,53 @@ type CorrectionResult struct {
 	TotalCycles sim.Tick
 }
 
+// roundRunner abstracts how one correction round's replay is executed: the
+// serial engine on a reused fabric, or the sharded engine on K replicas. The
+// probe hands out a fresh fabric for zero-load latency seeding; it never
+// ticks, so implementations may recycle it into later rounds.
+type roundRunner interface {
+	probe() noc.Network
+	run(tr *trace.Trace, inject []sim.Tick) (ReplayResult, error)
+}
+
+// serialRounds is the classic single-fabric execution of the loop.
+type serialRounds struct {
+	src netSource
+}
+
+func (s *serialRounds) probe() noc.Network {
+	p := s.src.factory()
+	if _, ok := p.(noc.Resettable); ok {
+		s.src.reused = p
+	}
+	return p
+}
+
+func (s *serialRounds) run(tr *trace.Trace, inject []sim.Tick) (ReplayResult, error) {
+	return ReplaySchedule(s.src.acquire(), tr, inject)
+}
+
 // SelfCorrect runs the Self-Correction Trace Model: starting from zero-load
 // latency estimates, it alternates (a) re-deriving the injection schedule
 // from the dependency DAG and (b) measuring realized latencies by replaying
 // that schedule on a fresh fabric, until the schedule reaches a fixpoint.
 func SelfCorrect(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM) (CorrectionResult, error) {
+	return selfCorrect(&serialRounds{src: netSource{factory: factory}}, tr, cfg)
+}
+
+// SelfCorrectSharded is SelfCorrect with each round's replay executed across
+// the given number of shards. Results are byte-identical to SelfCorrect for
+// any shard count — the schedule derivation is untouched and the sharded
+// replay reproduces the serial replay exactly — so the shard count is purely
+// a wall-clock knob.
+func SelfCorrectSharded(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM, shards int) (CorrectionResult, error) {
+	if shards <= 1 {
+		return SelfCorrect(factory, tr, cfg)
+	}
+	return selfCorrect(NewShardedReplayer(factory, shards), tr, cfg)
+}
+
+func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM) (CorrectionResult, error) {
 	if err := tr.Validate(); err != nil {
 		return CorrectionResult{}, fmt.Errorf("core: invalid trace: %w", err)
 	}
@@ -84,31 +126,25 @@ func SelfCorrect(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM) (Corr
 	}
 	n := len(tr.Events)
 
-	src := &netSource{factory: factory}
-
 	// Seed latencies: a fixed constant if configured, else the target
-	// fabric's zero-load estimate per message. The probe never ticks, so
-	// it doubles as the first round's fabric when reusable.
+	// fabric's zero-load estimate per message.
 	lat := make([]sim.Tick, n)
 	if cfg.InitialLatencyCycles > 0 {
 		for i := range lat {
 			lat[i] = sim.Tick(cfg.InitialLatencyCycles)
 		}
 	} else {
-		probe := factory()
+		probe := runner.probe()
 		for i := range tr.Events {
 			e := &tr.Events[i]
 			lat[i] = probe.ZeroLoadLatency(e.Src, e.Dst, e.Bytes)
-		}
-		if _, ok := probe.(noc.Resettable); ok {
-			src.reused = probe
 		}
 	}
 
 	var out CorrectionResult
 	prev := Schedule(tr, lat, opts)
 	for round := 0; round < cfg.MaxIterations; round++ {
-		res, err := ReplaySchedule(src.acquire(), tr, prev)
+		res, err := runner.run(tr, prev)
 		if err != nil {
 			return CorrectionResult{}, fmt.Errorf("core: correction round %d: %w", round, err)
 		}

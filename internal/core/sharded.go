@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"onocsim/internal/noc"
+	"onocsim/internal/sim"
+	"onocsim/internal/trace"
+)
+
+// ShardedReplayer replays injection schedules on K replica fabrics in
+// parallel, producing results byte-identical to ReplaySchedule for any shard
+// count.
+//
+// Why this is possible: schedule-driven replay fixes every injection time up
+// front — deliveries never feed back into injections — so the only coupling
+// between messages is contention for fabric resources. On a
+// noc.ScheduleShardable fabric every resource a src→dst message touches is
+// owned by the single node ShardNode(src, dst): the MWSR crossbar arbitrates
+// per destination channel, SWMR serializes per source channel, the ideal
+// fabric caps bandwidth per source port. Partitioning nodes across K replica
+// fabrics and handing each replica only the messages of the nodes it owns
+// therefore evolves every owned resource exactly as the serial run does —
+// the partition has zero cross-shard channels, which makes it the degenerate
+// optimum of conservative-lookahead partitioning: the safe window is
+// unbounded, and the engine's window size only tunes barrier overhead.
+//
+// Per-message times then match the serial run by the skip-equivalence
+// invariant (every Tick strictly before NextWake is a no-op), and the serial
+// statistics — order-sensitive Welford accumulators included — are
+// reconstructed by replaying every statistics mutation in the serial engine's
+// exact order, recovered from (cycle, phase, fabric scan position); see
+// mergeStats.
+//
+// Fabrics that do not implement noc.ScheduleShardable (the wormhole mesh,
+// whose flits contend for shared links every cycle, and the hybrid fabric
+// that embeds it) fall back to the serial engine, as does K ≤ 1.
+type ShardedReplayer struct {
+	factory NetworkFactory
+	shards  int
+	// nets caches Resettable fabric instances across Replay calls, one per
+	// shard slot, mirroring netSource reuse in the serial loop.
+	nets []noc.Network
+}
+
+// NewShardedReplayer builds a replayer that targets the given shard count.
+// The count is clamped to [1, nodes] per replay; 1 (or a fabric that is not
+// ScheduleShardable) selects the serial engine.
+func NewShardedReplayer(factory NetworkFactory, shards int) *ShardedReplayer {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ShardedReplayer{factory: factory, shards: shards}
+}
+
+// fabric returns a fresh-state network for shard slot i, reusing a cached
+// Resettable instance when possible.
+func (p *ShardedReplayer) fabric(i int) noc.Network {
+	for len(p.nets) <= i {
+		p.nets = append(p.nets, nil)
+	}
+	if n := p.nets[i]; n != nil {
+		n.(noc.Resettable).Reset()
+		return n
+	}
+	n := p.factory()
+	if _, ok := n.(noc.Resettable); ok {
+		p.nets[i] = n
+	}
+	return n
+}
+
+// probe implements roundRunner: a fabric for zero-load latency seeding.
+func (p *ShardedReplayer) probe() noc.Network { return p.fabric(0) }
+
+// run implements roundRunner.
+func (p *ShardedReplayer) run(tr *trace.Trace, inject []sim.Tick) (ReplayResult, error) {
+	return p.Replay(tr, inject)
+}
+
+// Replay is the sharded counterpart of ReplaySchedule.
+func (p *ShardedReplayer) Replay(tr *trace.Trace, inject []sim.Tick) (ReplayResult, error) {
+	net := p.fabric(0)
+	if net.Nodes() != tr.Nodes {
+		return ReplayResult{}, fmt.Errorf("core: fabric has %d nodes, trace has %d", net.Nodes(), tr.Nodes)
+	}
+	if len(inject) != len(tr.Events) {
+		return ReplayResult{}, fmt.Errorf("core: %d injection times for %d events", len(inject), len(tr.Events))
+	}
+	if err := checkEventIDs(tr); err != nil {
+		return ReplayResult{}, err
+	}
+	nodes := net.Nodes()
+	k := p.shards
+	if k > nodes {
+		k = nodes
+	}
+	sh0, shardable := net.(noc.ScheduleShardable)
+	if k <= 1 || !shardable {
+		if shardable {
+			sh0.SetShardObs(nil)
+		}
+		return ReplaySchedule(net, tr, inject)
+	}
+
+	n := len(tr.Events)
+	res := ReplayResult{
+		Inject: make([]sim.Tick, n),
+		Arrive: make([]sim.Tick, n),
+	}
+	// Global injection order and each event's rank in it: the serial engine
+	// injects by (time, ID), and the rank doubles as the serial tie-break
+	// for injection-ordered statistics.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if inject[ia] != inject[ib] {
+			return inject[ia] < inject[ib]
+		}
+		return ia < ib
+	})
+	rank := make([]int, n)
+	for pos, i := range order {
+		rank[i] = pos
+	}
+
+	// Partition events by the owner shard of their ShardNode. Iterating the
+	// global order keeps every shard's subsequence in serial injection
+	// order, so each replica sees its messages exactly as the serial run
+	// interleaved them.
+	sn := make([]int, n)
+	shardOrder := make([][]int, k)
+	for _, i := range order {
+		e := &tr.Events[i]
+		s := sh0.ShardNode(e.Src, e.Dst) * k / nodes
+		sn[i] = sh0.ShardNode(e.Src, e.Dst)
+		shardOrder[s] = append(shardOrder[s], i)
+	}
+
+	// Per-message fabric observations, written at disjoint indices by the
+	// owning shard (each message is observed only by its own replica).
+	obs := make([]noc.ShardObs, n)
+	hasObs := make([]bool, n)
+
+	runners := make([]sim.ShardRunner, k)
+	shardsState := make([]*replayShard, k)
+	for s := 0; s < k; s++ {
+		fnet := net
+		if s > 0 {
+			fnet = p.fabric(s)
+		}
+		fsh := fnet.(noc.ScheduleShardable)
+		rs := &replayShard{
+			net:    fsh,
+			tr:     tr,
+			inject: inject,
+			order:  shardOrder[s],
+			want:   len(shardOrder[s]),
+		}
+		if rs.want > 0 {
+			rs.lastInj = inject[rs.order[rs.want-1]]
+		}
+		fsh.SetDeliver(func(m *noc.Message) {
+			idx := int(m.ID) - 1
+			res.Arrive[idx] = m.Arrive
+			res.Inject[idx] = m.Inject
+			rs.done++
+			rs.pool.Put(m)
+		})
+		fsh.SetShardObs(func(id uint64, o noc.ShardObs) {
+			obs[id-1] = o
+			hasObs[id-1] = true
+		})
+		runners[s] = rs
+		shardsState[s] = rs
+	}
+
+	// Window size: with zero cross-shard channels any window is safe, so it
+	// is sized as a generous multiple of the fabric lookahead purely to
+	// amortize barrier overhead.
+	window := net.Lookahead() * 64
+	if window < 1024 {
+		window = 1024
+	}
+	sim.NewShardedEngine(runners, window).Run()
+
+	for s, rs := range shardsState {
+		if rs.err != nil {
+			return ReplayResult{}, fmt.Errorf("core: shard %d/%d: %w", s, k, rs.err)
+		}
+		if rs.done != rs.want {
+			return ReplayResult{}, fmt.Errorf("core: shard %d/%d delivered %d/%d", s, k, rs.done, rs.want)
+		}
+	}
+
+	stats, err := mergeStats(tr, &res, inject, obs, hasObs, rank, sn, sh0.SeqOrder())
+	if err != nil {
+		return ReplayResult{}, err
+	}
+
+	// Finalize exactly as finalizeResult does, with the serial engine's
+	// final clock reconstructed: the serial loop exits on the Tick that
+	// delivers the last message, so Now() there equals the last arrival.
+	var maxArr, maxRef sim.Tick
+	var sum float64
+	for i := range res.Arrive {
+		if res.Arrive[i] > maxArr {
+			maxArr = res.Arrive[i]
+		}
+		if tr.Events[i].RefArrive > maxRef {
+			maxRef = tr.Events[i].RefArrive
+		}
+		sum += float64(res.Arrive[i] - res.Inject[i])
+	}
+	tail := tr.RefMakespan - maxRef
+	if tail < 0 {
+		tail = 0
+	}
+	res.Makespan = maxArr + tail
+	if n > 0 {
+		res.MeanLatency = sum / float64(n)
+	}
+	res.Cycles = maxArr
+	res.NetStats = stats
+	return res, nil
+}
+
+// replayShard drives one replica fabric over its owned injection
+// subsequence. It is the serial ReplaySchedule loop, windowed: AdvanceTo
+// processes injections, skips and ticks exactly as the serial engine would,
+// but yields at the horizon so the sharded engine can barrier.
+type replayShard struct {
+	net     noc.ScheduleShardable
+	tr      *trace.Trace
+	inject  []sim.Tick
+	order   []int
+	next    int
+	want    int
+	done    int
+	lastInj sim.Tick
+	pool    noc.MsgPool
+	err     error
+}
+
+// NextAt implements sim.ShardRunner.
+func (r *replayShard) NextAt() sim.Tick {
+	if r.err != nil || r.done >= r.want {
+		return sim.Never
+	}
+	wake := r.net.NextWake()
+	if r.next < len(r.order) {
+		if t := r.inject[r.order[r.next]]; t < wake {
+			wake = t
+		}
+	}
+	return wake
+}
+
+// AdvanceTo implements sim.ShardRunner.
+func (r *replayShard) AdvanceTo(horizon sim.Tick) {
+	if r.err != nil {
+		return
+	}
+	for r.done < r.want {
+		now := r.net.Now()
+		for r.next < len(r.order) && r.inject[r.order[r.next]] <= now {
+			i := r.order[r.next]
+			e := &r.tr.Events[i]
+			m := r.pool.Get()
+			m.ID = uint64(e.ID)
+			m.Src = e.Src
+			m.Dst = e.Dst
+			m.Bytes = e.Bytes
+			m.Class = e.Class
+			r.net.Inject(m)
+			r.next++
+		}
+		wake := r.net.NextWake()
+		if r.next < len(r.order) {
+			if t := r.inject[r.order[r.next]]; t < wake {
+				wake = t
+			}
+		}
+		if wake >= sim.Never {
+			r.err = fmt.Errorf("replay did not drain (%d/%d delivered)", r.done, r.want)
+			return
+		}
+		if wake > horizon {
+			return
+		}
+		if wake > now+1 {
+			r.net.SkipTo(wake - 1)
+		}
+		r.net.Tick()
+		if r.net.Now() > r.lastInj+sim.Tick(1_000_000_000) {
+			r.err = fmt.Errorf("replay did not drain (%d/%d delivered)", r.done, r.want)
+			return
+		}
+	}
+}
+
+// mergeStats rebuilds the serial engine's statistics block from per-shard
+// observations by replaying every mutation in the serial order. This matters
+// because metrics.Summary is a Welford accumulator — its mean/m2 floats
+// depend on Add order, and Summary.Merge is *not* byte-identical to
+// sequential Adds — so the only way to match the serial block bit-for-bit is
+// to re-run the Adds in the exact serial sequence.
+//
+// The serial replay loop visits each clock value c in three phases:
+//
+//	phase 0 — deliveries: messages with Arrive == c pop from the arrival
+//	  heap in (at, seq) order. SeqByInjection fabrics assign seq at Inject,
+//	  so the tie-break is the global injection rank; SeqByService fabrics
+//	  assign seq when a transmission starts (self-messages at Inject), so
+//	  the tie-break is the transmit-start key (start cycle, then channel
+//	  scan position; self-messages sort as injections of their cycle).
+//	phase 1 — transmit starts: the crossbar Tick scans channels in
+//	  ascending ShardNode order, recording the queue wait into HopCount
+//	  then QueueDelay for each message that wins its channel.
+//	phase 2 — injections: events due at c are injected in (time, ID)
+//	  order at the top of the loop, after the Tick that moved the clock to
+//	  c — Injected++, and the ideal fabric also records its bandwidth
+//	  stall into QueueDelay here.
+//
+// Sorting all mutation records by (cycle, phase, tie-break) therefore
+// reproduces the serial mutation sequence exactly.
+func mergeStats(tr *trace.Trace, res *ReplayResult, inject []sim.Tick, obs []noc.ShardObs, hasObs []bool, rank, sn []int, seqOrder noc.SeqOrder) (*noc.Stats, error) {
+	type mutOp struct {
+		cycle sim.Tick
+		phase uint8
+		// Tie-break key inside (cycle, phase): for phase-0 deliveries of
+		// SeqByService fabrics this is the seq-assignment key (a, b, c) =
+		// (start cycle, assignment phase, channel/rank); elsewhere only c
+		// is used.
+		a   sim.Tick
+		b   uint8
+		c   int64
+		idx int
+	}
+	n := len(tr.Events)
+	ops := make([]mutOp, 0, 3*n)
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		self := e.Src == e.Dst
+		switch seqOrder {
+		case noc.SeqByInjection:
+			if !hasObs[i] {
+				return nil, fmt.Errorf("core: fabric recorded no shard observation for event %d", e.ID)
+			}
+			ops = append(ops, mutOp{cycle: res.Arrive[i], phase: 0, c: int64(rank[i]), idx: i})
+		case noc.SeqByService:
+			if self {
+				ops = append(ops, mutOp{cycle: res.Arrive[i], phase: 0, a: inject[i], b: 2, c: int64(rank[i]), idx: i})
+			} else {
+				if !hasObs[i] {
+					return nil, fmt.Errorf("core: fabric recorded no shard observation for event %d", e.ID)
+				}
+				ops = append(ops, mutOp{cycle: res.Arrive[i], phase: 0, a: obs[i].Start, b: 1, c: int64(sn[i]), idx: i})
+				ops = append(ops, mutOp{cycle: obs[i].Start, phase: 1, c: int64(sn[i]), idx: i})
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown fabric seq order %d", seqOrder)
+		}
+		ops = append(ops, mutOp{cycle: inject[i], phase: 2, c: int64(rank[i]), idx: i})
+	}
+	sort.Slice(ops, func(x, y int) bool {
+		ox, oy := &ops[x], &ops[y]
+		if ox.cycle != oy.cycle {
+			return ox.cycle < oy.cycle
+		}
+		if ox.phase != oy.phase {
+			return ox.phase < oy.phase
+		}
+		if ox.a != oy.a {
+			return ox.a < oy.a
+		}
+		if ox.b != oy.b {
+			return ox.b < oy.b
+		}
+		return ox.c < oy.c
+	})
+
+	stats := noc.NewStats()
+	for _, op := range ops {
+		e := &tr.Events[op.idx]
+		switch op.phase {
+		case 0:
+			lat := float64(res.Arrive[op.idx] - res.Inject[op.idx])
+			stats.Delivered++
+			stats.BytesDelivered += uint64(e.Bytes)
+			stats.Latency.Add(lat)
+			if e.Class < noc.NumClasses {
+				stats.PerClass[e.Class].Add(lat)
+			}
+			if seqOrder == noc.SeqByInjection {
+				// The ideal fabric records one "hop" per delivery.
+				stats.HopCount.Add(1)
+			}
+		case 1:
+			stats.HopCount.Add(obs[op.idx].Queue)
+			stats.QueueDelay.Add(obs[op.idx].Queue)
+		case 2:
+			stats.Injected++
+			if seqOrder == noc.SeqByInjection {
+				stats.QueueDelay.Add(obs[op.idx].Queue)
+			}
+		}
+	}
+	return stats, nil
+}
+
+// ReplayScheduleSharded replays a schedule across the given number of shards;
+// it is ReplaySchedule's drop-in parallel form.
+func ReplayScheduleSharded(factory NetworkFactory, tr *trace.Trace, inject []sim.Tick, shards int) (ReplayResult, error) {
+	return NewShardedReplayer(factory, shards).Replay(tr, inject)
+}
+
+// NaiveReplaySharded is NaiveReplay across the given number of shards.
+func NaiveReplaySharded(factory NetworkFactory, tr *trace.Trace, shards int) (ReplayResult, error) {
+	inject := make([]sim.Tick, len(tr.Events))
+	for i := range tr.Events {
+		inject[i] = tr.Events[i].RefInject
+	}
+	return ReplayScheduleSharded(factory, tr, inject, shards)
+}

@@ -75,6 +75,22 @@ func newCore(id int, sys *System, prog Program) *core {
 	}
 }
 
+// setState transitions the core's blocking state, keeping the system's
+// per-tile-range running-core counts exact. Every state write funnels
+// through here; the counts are what let the tick loop and nextWake skip
+// whole tile ranges with no runnable core.
+func (c *core) setState(s coreState) {
+	if (c.state == coreRunning) != (s == coreRunning) {
+		r := c.id >> coreRangeShift
+		if s == coreRunning {
+			c.sys.runningInRange[r]++
+		} else {
+			c.sys.runningInRange[r]--
+		}
+	}
+	c.state = s
+}
+
 // progDep returns the program-order dependency set of the core's next send.
 func (c *core) progDep() ([]trace.Dep, sim.Tick) {
 	if c.lastUnblockID == trace.None {
@@ -92,7 +108,7 @@ func (c *core) step() {
 	}
 	for {
 		if c.pc >= len(c.prog) {
-			c.state = coreDone
+			c.setState(coreDone)
 			c.doneAt = now
 			return
 		}
@@ -124,7 +140,7 @@ func (c *core) step() {
 			c.SyncOps++
 			deps, depTime := c.progDep()
 			c.sys.sendFromCore(c, &protoMsg{typ: mLockReq, id: op.Arg, core: c.id}, deps, depTime)
-			c.state = coreWaitLock
+			c.setState(coreWaitLock)
 			return
 
 		case OpUnlock:
@@ -139,7 +155,7 @@ func (c *core) step() {
 			c.SyncOps++
 			deps, depTime := c.progDep()
 			c.sys.sendFromCore(c, &protoMsg{typ: mBarArrive, id: op.Arg, core: c.id}, deps, depTime)
-			c.state = coreWaitBarrier
+			c.setState(coreWaitBarrier)
 			return
 
 		default:
@@ -160,7 +176,7 @@ func (c *core) startMiss(line uint64, write bool) {
 	c.sys.sendFromCore(c, &protoMsg{typ: typ, line: line, core: c.id}, deps, depTime)
 	c.pendingLine = line
 	c.pendingWrite = write
-	c.state = coreWaitMem
+	c.setState(coreWaitMem)
 }
 
 // handle processes a message delivered to this core.
@@ -248,7 +264,7 @@ func (c *core) completeMiss(am arrivedMsg) {
 func (c *core) unblock(am arrivedMsg) {
 	c.lastUnblockID = am.msg.traceID
 	c.lastUnblockTime = am.at
-	c.state = coreRunning
+	c.setState(coreRunning)
 	c.pc++
 	c.busyUntil = am.at + 1
 }

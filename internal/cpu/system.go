@@ -9,6 +9,15 @@ import (
 	"onocsim/internal/trace"
 )
 
+// coreRangeShift sizes the tile ranges tracked by System.runningInRange:
+// ranges of 1<<coreRangeShift tiles. 32 keeps the range vector tiny while
+// still letting large chips skip most of the core array when only a few
+// tiles are runnable.
+const (
+	coreRangeShift = 5
+	coreRangeSize  = 1 << coreRangeShift
+)
+
 // System couples the cores and home banks to a fabric and drives the whole
 // chip cycle by cycle. The same System runs execution-driven ground truth
 // (no recorder) and trace capture (with recorder) on any noc.Network.
@@ -20,6 +29,15 @@ type System struct {
 
 	cores []*core
 	banks []*bank
+
+	// runningInRange[r] counts cores in state coreRunning within tile range
+	// r (ranges of 1<<coreRangeShift tiles), maintained by core.setState.
+	// The tick step loop and nextWake skip ranges with a zero count: step
+	// is a no-op for every non-running core, and nothing inside the step
+	// loop can wake a core (unblocks happen only during inbox dispatch and
+	// fabric delivery, both earlier in the cycle), so the skip is
+	// observationally identical to stepping every core.
+	runningInRange []int
 
 	rec   *trace.Recorder
 	msgID uint64
@@ -64,11 +82,13 @@ func NewSystem(cfg config.Config, programs []Program, net noc.Network, rec *trac
 		return nil, err
 	}
 	s := &System{cfg: cfg, net: net, nodes: cfg.System.Cores, rec: rec, lineBits: lb, eng: sim.NewEngine(), memTiles: memTiles}
+	s.runningInRange = make([]int, (cfg.System.Cores+coreRangeSize-1)>>coreRangeShift)
 	for i, p := range programs {
 		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("cpu: core %d: %w", i, err)
 		}
 		s.cores = append(s.cores, newCore(i, s, p))
+		s.runningInRange[i>>coreRangeShift]++ // cores start coreRunning
 	}
 	for i := 0; i < s.nodes; i++ {
 		s.banks = append(s.banks, newBank(i, s))
@@ -214,9 +234,22 @@ func (s *System) tick() {
 	// Flush bank responses whose service delay expired.
 	s.eng.RunUntil(s.now)
 
-	// Advance cores.
-	for _, c := range s.cores {
-		c.step()
+	// Advance cores, skipping whole tile ranges with no running core.
+	// step() never wakes another core (unblocks happen only during inbox
+	// dispatch above), so a range that starts the loop at zero stays at
+	// zero, and the skip cannot miss work.
+	for r, n := range s.runningInRange {
+		if n == 0 {
+			continue
+		}
+		base := r << coreRangeShift
+		hi := base + coreRangeSize
+		if hi > len(s.cores) {
+			hi = len(s.cores)
+		}
+		for _, c := range s.cores[base:hi] {
+			c.step()
+		}
 	}
 }
 
@@ -245,15 +278,25 @@ func (s *System) nextWake() sim.Tick {
 	// next cycle, and the early-out then spares the fabric's (potentially
 	// channel-scanning) NextWake entirely.
 	wake := noc.Never
-	for _, c := range s.cores {
-		if c.state != coreRunning {
+	for r, n := range s.runningInRange {
+		if n == 0 {
 			continue
 		}
-		if c.busyUntil <= s.now+1 {
-			return s.now + 1
+		base := r << coreRangeShift
+		hi := base + coreRangeSize
+		if hi > len(s.cores) {
+			hi = len(s.cores)
 		}
-		if c.busyUntil < wake {
-			wake = c.busyUntil
+		for _, c := range s.cores[base:hi] {
+			if c.state != coreRunning {
+				continue
+			}
+			if c.busyUntil <= s.now+1 {
+				return s.now + 1
+			}
+			if c.busyUntil < wake {
+				wake = c.busyUntil
+			}
 		}
 	}
 	if at, ok := s.eng.NextAt(); ok && at < wake {

@@ -206,6 +206,19 @@ func (n *Network) eject(node int, f *flit) {
 // Busy implements noc.Network.
 func (n *Network) Busy() bool { return n.inflight > 0 }
 
+// Lookahead implements noc.Network: the fastest cross-node interaction is a
+// single-hop packet — one router pipeline traversal plus one link flight.
+// The mesh is not ScheduleShardable (wormhole flits from different sources
+// contend for shared links every cycle), so this bound serves only the
+// generic conservative-window machinery.
+func (n *Network) Lookahead() sim.Tick {
+	la := sim.Tick(n.cfg.RouterStages + n.cfg.LinkCycles)
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
 // NextWake implements noc.Network. With flits in routers or NIs the mesh
 // does observable work every cycle, so the only skippable states are a
 // fully drained fabric and one where the sole survivors are self-messages

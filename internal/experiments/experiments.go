@@ -39,6 +39,11 @@ type Options struct {
 	// the per-experiment functions are sequential internally apart from
 	// the study-set fan-out.
 	Parallel bool
+	// Shards sets Config.Parallelism.Shards on every experiment config:
+	// replay-family runs split their fabric across this many shards of the
+	// conservative-lookahead engine. Results are byte-identical for any
+	// value (0 and 1 both mean serial); only wall-clock cells can differ.
+	Shards int
 }
 
 func (o Options) cores() int {
@@ -65,6 +70,9 @@ func kernelConfig(o Options, kernel string) onocsim.Config {
 	if o.Quick {
 		cfg.Workload.Scale = 4
 		cfg.Workload.Iterations = 2
+	}
+	if o.Shards > 0 {
+		cfg.Parallelism.Shards = o.Shards
 	}
 	cfg.Name = fmt.Sprintf("%s-%dc", kernel, cfg.System.Cores)
 	return cfg

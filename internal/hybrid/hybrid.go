@@ -125,6 +125,16 @@ func (n *Network) Tick() {
 // Busy implements noc.Network.
 func (n *Network) Busy() bool { return n.mesh.Busy() || n.optical.Busy() }
 
+// Lookahead implements noc.Network: a cross-node message may ride either
+// sub-fabric, so the safe bound is the smaller of the two.
+func (n *Network) Lookahead() sim.Tick {
+	la := n.mesh.Lookahead()
+	if o := n.optical.Lookahead(); o < la {
+		la = o
+	}
+	return la
+}
+
 // NextWake implements noc.Network: the earlier of the two sub-fabrics'
 // wake-ups, since Tick advances both in lockstep.
 func (n *Network) NextWake() sim.Tick {

@@ -17,6 +17,7 @@ type Ideal struct {
 	bytesPerC int
 	now       sim.Tick
 	deliver   DeliverFunc
+	shardObs  ShardObsFunc
 	stats     *Stats
 
 	// nextFree[n] is the first cycle node n's injection port is free,
@@ -132,6 +133,9 @@ func (n *Ideal) Inject(m *Message) {
 		start += ser - 1
 	}
 	n.stats.QueueDelay.Add(float64(start - n.now))
+	if n.shardObs != nil {
+		n.shardObs(m.ID, ShardObs{Start: n.now, Queue: float64(start - n.now)})
+	}
 	at := start + n.latency
 	if m.Src == m.Dst {
 		at = n.now + 1
@@ -182,6 +186,23 @@ func (n *Ideal) Reset() {
 	}
 	n.inflight = n.inflight[:0]
 }
+
+// Lookahead implements Network: the fixed delivery latency is the minimum
+// delay between an injection and its effect at another node.
+func (n *Ideal) Lookahead() sim.Tick { return n.latency }
+
+// ShardNode implements ScheduleShardable. The only stateful resource is the
+// per-source injection port (nextFree), so a message's whole lifetime is
+// owned by its source.
+func (n *Ideal) ShardNode(src, dst int) int { return src }
+
+// SetShardObs implements ScheduleShardable. Like the delivery callback, the
+// sink survives Reset.
+func (n *Ideal) SetShardObs(fn ShardObsFunc) { n.shardObs = fn }
+
+// SeqOrder implements ScheduleShardable: the delivery heap's tie-break seq is
+// assigned at Inject, so same-cycle deliveries complete in injection order.
+func (n *Ideal) SeqOrder() SeqOrder { return SeqByInjection }
 
 // ZeroLoadLatency implements Network.
 func (n *Ideal) ZeroLoadLatency(src, dst, bytes int) sim.Tick {

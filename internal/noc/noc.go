@@ -74,8 +74,9 @@ func (m *Message) Latency() sim.Tick { return m.Arrive - m.Inject }
 type DeliverFunc func(m *Message)
 
 // Never is the NextWake sentinel meaning "no observable work pending": the
-// fabric will stay silent forever unless something new is injected.
-const Never = sim.Tick(1) << 62
+// fabric will stay silent forever unless something new is injected. It is
+// the same sentinel the sharded engine uses for drained shard runners.
+const Never = sim.Never
 
 // Network is the fabric contract.
 type Network interface {
@@ -117,6 +118,67 @@ type Network interface {
 	// (e.g. arbitration token positions) analytically so that subsequent
 	// Ticks behave exactly as if each skipped cycle had been ticked.
 	SkipTo(t sim.Tick)
+	// Lookahead returns the minimum number of cycles between an injection
+	// at one node and its earliest possible observable effect at a
+	// *different* node: serialization + hop latency for the mesh, circuit
+	// setup + flight time for the crossbars, the fixed delivery latency
+	// for the ideal fabric. It is a static property of the configuration
+	// (never smaller than 1) and is the safe window the conservative
+	// parallel engine may let shards advance without synchronizing.
+	Lookahead() sim.Tick
+}
+
+// ShardObs is the fabric-side observation the sharded replay engine needs to
+// reconstruct serial statistics without re-deriving fabric-internal decisions.
+// For crossbars it is recorded when a queued message wins its channel (Start =
+// the transmit-start cycle, Queue = the token/channel wait); for the ideal
+// fabric it is recorded at injection (Start = the injection cycle, Queue = the
+// bandwidth-cap stall). Fabrics emit at most one observation per message and
+// none for messages whose serial path records no such sample.
+type ShardObs struct {
+	Start sim.Tick
+	Queue float64
+}
+
+// ShardObsFunc receives the per-message observation for message ID id.
+type ShardObsFunc func(id uint64, obs ShardObs)
+
+// SeqOrder names the rule a fabric uses to break ties between deliveries that
+// complete at the same cycle, so a sharded merge can reproduce the serial
+// delivery order without access to the serial sequence counter.
+type SeqOrder int
+
+const (
+	// SeqByService orders same-cycle deliveries by when and where their
+	// transmission started: first by transmit-start cycle, then — for
+	// transmissions starting the same cycle — by the fabric's channel scan
+	// order (== ShardNode), with locally-delivered self-messages sorting
+	// after all transmissions of their injection cycle, by message ID.
+	SeqByService SeqOrder = iota
+	// SeqByInjection orders same-cycle deliveries by global injection
+	// rank: the fabric assigns sequence numbers at Inject, so the serial
+	// tie-break is the order messages entered the network.
+	SeqByInjection
+)
+
+// ScheduleShardable is implemented by fabrics whose schedule-driven replay —
+// injections fixed up front, no delivery→injection feedback — factorizes into
+// independent per-node slices: every resource a message uses is owned by the
+// single node ShardNode(src, dst), so a replica fabric fed only the messages
+// of the nodes it owns evolves those nodes' state exactly as the serial run
+// does. The crossbars qualify (MWSR arbitrates per destination, SWMR
+// serializes per source), as does the ideal fabric (per-source bandwidth
+// cap). The mesh does not: wormhole flits from different sources contend for
+// shared links every cycle.
+type ScheduleShardable interface {
+	Network
+	// ShardNode returns the node index that owns all fabric resources a
+	// src→dst message touches.
+	ShardNode(src, dst int) int
+	// SetShardObs registers the observation sink; nil disables it.
+	SetShardObs(fn ShardObsFunc)
+	// SeqOrder reports the fabric's same-cycle delivery tie-break rule.
+	SeqOrder() SeqOrder
 }
 
 // Resettable is implemented by fabrics that can return to their

@@ -59,9 +59,10 @@ type Network struct {
 	cfg   config.Optical
 	nodes int
 
-	now     sim.Tick
-	deliver noc.DeliverFunc
-	stats   *noc.Stats
+	now      sim.Tick
+	deliver  noc.DeliverFunc
+	shardObs noc.ShardObsFunc
+	stats    *noc.Stats
 
 	ser serTable
 
@@ -360,6 +361,9 @@ func (n *Network) stepChannel(ch *channel) {
 		prop := n.propagation(m.Src, m.Dst)
 		n.stats.HopCount.Add(float64(n.now - m.Inject)) // token wait
 		n.stats.QueueDelay.Add(float64(n.now - m.Inject))
+		if n.shardObs != nil {
+			n.shardObs(m.ID, noc.ShardObs{Start: n.now, Queue: float64(n.now - m.Inject)})
+		}
 		arriveAt := n.now + oe + ser + prop
 		n.seq++
 		n.arrivals.push(arrival{at: arriveAt, seq: n.seq, msg: m})
@@ -378,6 +382,32 @@ func (n *Network) stepChannel(ch *channel) {
 
 // Busy implements noc.Network.
 func (n *Network) Busy() bool { return n.inflight > 0 }
+
+// Lookahead implements noc.Network: the fastest cross-node interaction is a
+// message that wins its token instantly — O/E conversion plus the minimum one
+// cycle each of serialization and propagation.
+func (n *Network) Lookahead() sim.Tick {
+	la := sim.Tick(n.cfg.OEOverheadCycles) + 2
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
+// ShardNode implements noc.ScheduleShardable. Every resource a src→dst
+// message touches — the destination's home channel, its token, its per-source
+// queues, its arrival stream — belongs to the destination.
+func (n *Network) ShardNode(src, dst int) int { return dst }
+
+// SetShardObs implements noc.ScheduleShardable. Like the delivery callback,
+// the sink survives Reset.
+func (n *Network) SetShardObs(fn noc.ShardObsFunc) { n.shardObs = fn }
+
+// SeqOrder implements noc.ScheduleShardable: the arrival heap's tie-break seq
+// is assigned when a transmission starts (or, for self-messages, at Inject),
+// and Tick scans active channels in ascending dst order — so same-cycle
+// deliveries complete in transmit-start order, tie-broken by dst.
+func (n *Network) SeqOrder() noc.SeqOrder { return noc.SeqByService }
 
 // NextWake implements noc.Network. An active channel next acts (transmits or
 // hops) at tokenReady — which every state transition leaves strictly in the

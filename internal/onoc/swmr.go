@@ -20,9 +20,10 @@ type SWMR struct {
 	cfg   config.Optical
 	nodes int
 
-	now     sim.Tick
-	deliver noc.DeliverFunc
-	stats   *noc.Stats
+	now      sim.Tick
+	deliver  noc.DeliverFunc
+	shardObs noc.ShardObsFunc
+	stats    *noc.Stats
 
 	ser serTable
 
@@ -145,6 +146,9 @@ func (n *SWMR) Tick() {
 		wait := n.now - m.Inject
 		n.stats.HopCount.Add(float64(wait))
 		n.stats.QueueDelay.Add(float64(wait))
+		if n.shardObs != nil {
+			n.shardObs(m.ID, noc.ShardObs{Start: n.now, Queue: float64(wait)})
+		}
 		n.seq++
 		n.arrivals.push(arrival{at: n.now + oe + ser + n.propagation(m.Src, m.Dst), seq: n.seq, msg: m})
 		n.chanFree[s] = n.now + ser
@@ -155,6 +159,30 @@ func (n *SWMR) Tick() {
 
 // Busy implements noc.Network.
 func (n *SWMR) Busy() bool { return n.inflight > 0 }
+
+// Lookahead implements noc.Network: an uncontended send still pays O/E
+// conversion plus at least one cycle each of serialization and propagation.
+func (n *SWMR) Lookahead() sim.Tick {
+	la := sim.Tick(n.cfg.OEOverheadCycles) + 2
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
+// ShardNode implements noc.ScheduleShardable. A message's only stateful
+// resources — the sender's broadcast channel and FIFO — belong to its source.
+func (n *SWMR) ShardNode(src, dst int) int { return src }
+
+// SetShardObs implements noc.ScheduleShardable. Like the delivery callback,
+// the sink survives Reset.
+func (n *SWMR) SetShardObs(fn noc.ShardObsFunc) { n.shardObs = fn }
+
+// SeqOrder implements noc.ScheduleShardable: seq is assigned at transmit
+// start (self-messages at Inject) and Tick scans senders in ascending source
+// order, so same-cycle deliveries complete in transmit-start order,
+// tie-broken by source.
+func (n *SWMR) SeqOrder() noc.SeqOrder { return noc.SeqByService }
 
 // NextWake implements noc.Network. With no arbitration there is no hidden
 // per-cycle state: the next observable action is either the earliest

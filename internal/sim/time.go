@@ -23,6 +23,12 @@ type Tick int64
 // used as the "never" sentinel for unresolved dependency times.
 const Infinity Tick = 1<<62 - 1
 
+// Never is the "no pending work" sentinel shared by the fabric contract and
+// the sharded engine: a component reporting Never from its next-event query
+// stays silent forever unless something new is handed to it. It sits above
+// Infinity so that min-reductions over mixed sources still terminate.
+const Never Tick = 1 << 62
+
 // Cycles converts a non-negative integer cycle count to a Tick duration.
 func Cycles(n int64) Tick { return Tick(n) }
 

@@ -65,6 +65,11 @@ func normalizeFor(cfg Config, kind NetworkKind, op simcache.Op) Config {
 	// Every cached operation receives its fabric kind explicitly; the
 	// config's own Network field only picks a default elsewhere.
 	n.Network = def.Network
+	// Parallelism cannot affect any result (the sharded engine is
+	// byte-identical to the serial one) and is already excluded at the
+	// Fingerprint level; normalizing it here as well keeps the invariant
+	// visible where the other masking rules live.
+	n.Parallelism = def.Parallelism
 	// SCTM parameters feed only the correction engine and the coupled
 	// replay's two dependency toggles.
 	switch op {
