@@ -13,15 +13,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# Tier-1 gate: vet runs first so static mistakes fail fast, before the
+# (much slower) test sweep.
+test: vet
 	$(GO) test ./...
 
 # The serial simulators are single-goroutine by design; the race detector
-# guards the experiment harness's concurrent study fan-out and the sharded
+# guards the experiment harness's concurrent study fan-out, the sharded
 # conservative-lookahead engine (barrier protocol in internal/sim, shard
-# partition/merge in internal/core).
+# partition/merge in internal/core), and the fault injector's lazily
+# extended per-channel timelines under sharded replay.
 test-race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/core/ .
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/core/ ./internal/fault/ .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -30,13 +33,13 @@ bench:
 # the engine micro-benchmarks, folds the results into $(BENCH_OUT) against
 # the committed $(BENCH_BASE) reference, and fails on a >25% regression so
 # earlier PRs' performance wins stay locked in. Override the variables to
-# re-baseline, e.g. `make bench-json BENCH_OUT=tmp.json BENCH_BASE=BENCH_PR3.json`.
-BENCH_OUT ?= BENCH_PR3.json
-BENCH_BASE ?= BENCH_PR2.json
+# re-baseline, e.g. `make bench-json BENCH_OUT=tmp.json BENCH_BASE=BENCH_PR4.json`.
+BENCH_OUT ?= BENCH_PR4.json
+BENCH_BASE ?= BENCH_PR3.json
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress 25
 
-# Regenerate the full evaluation (R1–R16) at paper scale.
+# Regenerate the full evaluation (R1–R18) at paper scale.
 report:
 	$(GO) run ./cmd/expreport -exp all | tee results_full.txt
 

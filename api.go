@@ -91,13 +91,13 @@ func BuildNetwork(cfg Config, kind NetworkKind) (Network, error) {
 		return enoc.New(cfg.System.Cores, cfg.Mesh), nil
 	case config.NetOptical:
 		if cfg.Optical.Architecture == "swmr" {
-			return onoc.NewSWMR(cfg.System.Cores, cfg.Optical), nil
+			return onoc.NewSWMRWithFaults(cfg.System.Cores, cfg.Optical, cfg.Faults, cfg.Seed), nil
 		}
-		return onoc.New(cfg.System.Cores, cfg.Optical), nil
+		return onoc.NewWithFaults(cfg.System.Cores, cfg.Optical, cfg.Faults, cfg.Seed), nil
 	case config.NetIdeal:
 		return noc.NewIdeal(cfg.System.Cores, sim.Tick(cfg.Ideal.LatencyCycles), cfg.Ideal.BytesPerCycle), nil
 	case config.NetHybrid:
-		return hybrid.New(cfg.System.Cores, cfg.Mesh, cfg.Optical, cfg.Hybrid.Threshold), nil
+		return hybrid.NewWithFaults(cfg.System.Cores, cfg.Mesh, cfg.Optical, cfg.Hybrid.Threshold, cfg.Faults, cfg.Seed), nil
 	default:
 		return nil, fmt.Errorf("onocsim: unknown network kind %q", kind)
 	}
@@ -152,6 +152,9 @@ type GroundTruth struct {
 	WallTime time.Duration
 	// Power is the fabric power report over the run.
 	Power noc.PowerReport
+	// Faults counts injected-fault events the fabric absorbed (all zero
+	// unless the config's Faults section enables injection).
+	Faults noc.FaultCounts
 }
 
 // RunExecutionDriven runs the configured kernel workload execution-driven on
@@ -183,6 +186,7 @@ func RunExecutionDriven(cfg Config, kind NetworkKind) (GroundTruth, error) {
 		Messages:    res.Messages,
 		WallTime:    time.Since(start),
 		Power:       net.PowerReport(res.Cycles, clockGHz(cfg, kind)),
+		Faults:      net.Stats().Faults,
 	}
 	for c := noc.Class(0); c < noc.NumClasses; c++ {
 		gt.ClassLatency[c] = net.Stats().PerClass[c].Mean()

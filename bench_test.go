@@ -319,3 +319,6 @@ func BenchmarkR16Seeds(b *testing.B) { benchTable(b, "r16") }
 
 // BenchmarkR17Memory regenerates the memory-intensity table (R17).
 func BenchmarkR17Memory(b *testing.B) { benchTable(b, "r17") }
+
+// BenchmarkR18Faults regenerates the fault-injection degradation table (R18).
+func BenchmarkR18Faults(b *testing.B) { benchTable(b, "r18") }

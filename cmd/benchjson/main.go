@@ -23,6 +23,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"onocsim/internal/cliutil"
 )
 
 // Result is one benchmark measurement.
@@ -122,24 +124,32 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline run to embed: raw `go test -bench` text or a benchjson snapshot")
 	maxRegress := flag.Float64("maxregress", 0, "fail (exit 1) if any benchmark regresses more than this percent vs the baseline (0 disables)")
 	flag.Parse()
-
-	current, env, err := parse(os.Stdin)
+	err := run(os.Stdin, *out, *baseline, *maxRegress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	}
+	os.Exit(cliutil.ExitCode(err))
+}
+
+// run converts stdin into a snapshot. A failed regression gate is a runtime
+// failure (exit 1), matching CI conventions; only bad flag values exit 2.
+func run(stdin io.Reader, out, baseline string, maxRegress float64) error {
+	if maxRegress < 0 {
+		return cliutil.Usagef("negative -maxregress %v (want a percentage >= 0)", maxRegress)
+	}
+	current, env, err := parse(stdin)
+	if err != nil {
+		return err
 	}
 	if len(current) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
-		os.Exit(1)
+		return fmt.Errorf("no benchmark results on stdin")
 	}
 	snap := Snapshot{Env: env, Current: current}
 	var regressions []string
-	if *baseline != "" {
-		var err error
-		snap.Baseline, err = parseBaseline(*baseline)
+	if baseline != "" {
+		snap.Baseline, err = parseBaseline(baseline)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+			return err
 		}
 		snap.Speedup = map[string]float64{}
 		for name, b := range snap.Baseline {
@@ -149,35 +159,34 @@ func main() {
 			}
 			// Two decimal places: benchmark noise makes more digits lie.
 			snap.Speedup[name] = float64(int64(b.NsPerOp/c.NsPerOp*100)) / 100
-			if *maxRegress > 0 && c.NsPerOp > b.NsPerOp*(1+*maxRegress/100) {
+			if maxRegress > 0 && c.NsPerOp > b.NsPerOp*(1+maxRegress/100) {
 				regressions = append(regressions, fmt.Sprintf(
 					"%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, limit %.0f%%)",
-					name, c.NsPerOp, b.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100, *maxRegress))
+					name, c.NsPerOp, b.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100, maxRegress))
 			}
 		}
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(data)
 	} else {
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), *out)
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), out)
 	}
 	if len(regressions) > 0 {
 		// The snapshot is still written above: the numbers that failed the
 		// gate are exactly the ones worth inspecting.
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond the limit:\n", len(regressions))
+		msg := fmt.Sprintf("%d benchmark(s) regressed beyond the limit:", len(regressions))
 		for _, r := range regressions {
-			fmt.Fprintln(os.Stderr, "  "+r)
+			msg += "\n  " + r
 		}
-		os.Exit(1)
+		return fmt.Errorf("%s", msg)
 	}
+	return nil
 }

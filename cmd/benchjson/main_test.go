@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"onocsim/internal/cliutil"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+BenchmarkFast-8    100    1000 ns/op    64 B/op    2 allocs/op
+BenchmarkSlow-8     10    9000 ns/op
+`
+
+func TestRunWritesSnapshot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader(benchOutput), out, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Current) != 2 || snap.Current["BenchmarkFast"].NsPerOp != 1000 {
+		t.Fatalf("snapshot: %+v", snap.Current)
+	}
+}
+
+// TestRunExitCodes pins the shared convention: bad flag values exit 2,
+// while runtime failures — including a tripped regression gate — exit 1.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := run(strings.NewReader(benchOutput), base, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	regressed := strings.ReplaceAll(benchOutput, "9000 ns/op", "90000 ns/op")
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"negative maxregress", run(strings.NewReader(benchOutput), "", "", -1), 2},
+		{"empty stdin", run(strings.NewReader(""), "", "", 0), 1},
+		{"missing baseline", run(strings.NewReader(benchOutput), "", filepath.Join(dir, "absent.json"), 0), 1},
+		{"regression gate", run(strings.NewReader(regressed), filepath.Join(dir, "out.json"), base, 25), 1},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if got := cliutil.ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exit code %d, want %d (err: %v)", tc.name, got, tc.want, tc.err)
+		}
+	}
+}
+
+// TestRunGatePasses checks the gate stays quiet within the allowance and
+// that the chained-snapshot baseline path computes speedups.
+func TestRunGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := run(strings.NewReader(benchOutput), base, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.json")
+	if err := run(strings.NewReader(benchOutput), out, base, 25); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Speedup["BenchmarkFast"] != 1 {
+		t.Fatalf("speedup = %v", snap.Speedup)
+	}
+}

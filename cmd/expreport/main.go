@@ -17,8 +17,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 
 	"onocsim"
+	"onocsim/internal/cliutil"
+	"onocsim/internal/config"
 	"onocsim/internal/experiments"
 	"onocsim/internal/metrics"
 	"onocsim/internal/prof"
@@ -26,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (r1..r17) or 'all'")
+		exp        = flag.String("exp", "all", "experiment id (r1..r18) or 'all'")
 		cores      = flag.Int("cores", 64, "core count for kernel experiments")
 		seed       = flag.Uint64("seed", 42, "experiment seed")
 		quick      = flag.Bool("quick", false, "shrink sweeps (CI-sized)")
@@ -35,6 +38,7 @@ func main() {
 		parallel   = flag.Bool("parallel", false, "fan experiments out concurrently, deduplicating shared simulations (tables are byte-identical apart from wall-clock cells)")
 		cachedir   = flag.String("cachedir", "", "persist captured traces here and reload them across invocations (implies result memoization)")
 		shards     = flag.Int("shards", 0, "shard count for replay-family simulations (0: one per CPU; tables are identical for any count)")
+		faults     = flag.String("faults", "", "run the kernel experiments under this fault preset: off | light | heavy (R18 sweeps all presets regardless)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		verbose    = flag.Bool("v", false, "report cache statistics on stderr")
@@ -54,22 +58,29 @@ func main() {
 	if *parallel || *cachedir != "" {
 		opts.Session = onocsim.NewSession(*cachedir)
 	}
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
-	if err == nil {
-		err = run(*exp, opts, *csv, *outdir)
-	}
-	if perr := stopProf(); err == nil {
-		err = perr
+	var err error
+	opts.Faults, err = config.FaultPreset(*faults)
+	if err != nil {
+		err = cliutil.UsageError{Err: err}
+	} else {
+		var stopProf func() error
+		stopProf, err = prof.Start(*cpuprofile, *memprofile)
+		if err == nil {
+			err = run(*exp, opts, *csv, *outdir)
+		}
+		if perr := stopProf(); err == nil {
+			err = perr
+		}
 	}
 	if *verbose && opts.Session != nil {
 		st := opts.Session.CacheStats()
-		fmt.Fprintf(os.Stderr, "expreport: cache: %d computed, %d hits, %d single-flight waits, %d disk hits\n",
-			st.Misses, st.Hits, st.Waits, st.DiskHits)
+		fmt.Fprintf(os.Stderr, "expreport: cache: %d computed, %d hits, %d single-flight waits, %d disk hits, %d disk errors\n",
+			st.Misses, st.Hits, st.Waits, st.DiskHits, st.DiskErrors)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "expreport:", err)
-		os.Exit(1)
 	}
+	os.Exit(cliutil.ExitCode(err))
 }
 
 // writeCSVFile saves one experiment table as <outdir>/<id>.csv.
@@ -89,6 +100,9 @@ func writeCSVFile(outdir, id string, t *metrics.Table) error {
 }
 
 func run(exp string, opts experiments.Options, csv bool, outdir string) error {
+	if exp != "all" && !experiments.Known(exp) {
+		return cliutil.Usagef("unknown experiment %q (want %s, or all)", exp, strings.Join(experiments.Names(), ", "))
+	}
 	if exp == "all" {
 		tables, err := experiments.All(opts)
 		if err != nil {

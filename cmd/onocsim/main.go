@@ -21,6 +21,7 @@ import (
 	"runtime"
 
 	"onocsim"
+	"onocsim/internal/cliutil"
 	"onocsim/internal/config"
 	"onocsim/internal/metrics"
 	"onocsim/internal/prof"
@@ -32,6 +33,7 @@ func main() {
 		network    = flag.String("network", "optical", "fabric: electrical | optical | hybrid | ideal")
 		mode       = flag.String("mode", "exec", "run mode: exec | study")
 		format     = flag.String("format", "ascii", "output format: ascii | json")
+		faults     = flag.String("faults", "", "optical fault-injection preset: off | light | heavy (default: keep the config file's faults section)")
 		dumpConfig = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
 		shards     = flag.Int("shards", 0, "shard count for replay-family simulations (0: one per CPU, capped at the core count; results are identical for any count)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -40,20 +42,28 @@ func main() {
 	flag.Parse()
 	stop, err := prof.Start(*cpuprofile, *memprofile)
 	if err == nil {
-		err = run(*cfgPath, *network, *mode, *format, *dumpConfig, *shards)
+		err = run(*cfgPath, *network, *mode, *format, *faults, *dumpConfig, *shards)
 	}
 	if perr := stop(); err == nil {
 		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "onocsim:", err)
-		os.Exit(1)
 	}
+	os.Exit(cliutil.ExitCode(err))
 }
 
-func run(cfgPath, network, mode, format string, dumpConfig bool, shards int) error {
+func run(cfgPath, network, mode, format, faults string, dumpConfig bool, shards int) error {
 	if format != "ascii" && format != "json" {
-		return fmt.Errorf("unknown format %q (want ascii or json)", format)
+		return cliutil.Usagef("unknown format %q (want ascii or json)", format)
+	}
+	if mode != "exec" && mode != "study" {
+		return cliutil.Usagef("unknown mode %q (want exec or study)", mode)
+	}
+	switch config.NetworkKind(network) {
+	case config.NetElectrical, config.NetOptical, config.NetIdeal, config.NetHybrid:
+	default:
+		return cliutil.Usagef("unknown network %q (want electrical, optical, hybrid, or ideal)", network)
 	}
 	cfg := onocsim.DefaultConfig()
 	if cfgPath != "" {
@@ -62,6 +72,13 @@ func run(cfgPath, network, mode, format string, dumpConfig bool, shards int) err
 		if err != nil {
 			return err
 		}
+	}
+	if faults != "" {
+		f, err := config.FaultPreset(faults)
+		if err != nil {
+			return cliutil.UsageError{Err: err}
+		}
+		cfg.Faults = f
 	}
 	kind := onocsim.NetworkKind(network)
 	cfg.Network = kind
@@ -97,6 +114,7 @@ func run(cfgPath, network, mode, format string, dumpConfig bool, shards int) err
 				Cycles:      int64(res.Cycles),
 				StaticMW:    res.Power.StaticMW,
 				DynamicMW:   res.Power.DynamicMW,
+				FaultEvents: res.Faults.TokenLosses + res.Faults.DriftedSends + res.Faults.DeratedSends + res.Faults.Rerouted,
 			})
 		}
 		t := metrics.NewTable(fmt.Sprintf("execution-driven run — %s, %s, %d cores",
@@ -109,6 +127,10 @@ func run(cfgPath, network, mode, format string, dumpConfig bool, shards int) err
 			res.ClassLatency[0], res.ClassLatency[1], res.ClassLatency[2]))
 		t.AddRow("host wall time", res.WallTime.String())
 		t.AddRow("network power (mW)", fmt.Sprintf("%.1f static + %.2f dynamic", res.Power.StaticMW, res.Power.DynamicMW))
+		if cfg.Faults.Enabled() {
+			t.AddRow("fault events", fmt.Sprintf("%d token losses / %d drifted / %d derated / %d rerouted",
+				res.Faults.TokenLosses, res.Faults.DriftedSends, res.Faults.DeratedSends, res.Faults.Rerouted))
+		}
 		return t.WriteASCII(os.Stdout)
 
 	case "study":
@@ -165,6 +187,7 @@ type execSummary struct {
 	Cycles      int64   `json:"simulated_cycles"`
 	StaticMW    float64 `json:"static_mw"`
 	DynamicMW   float64 `json:"dynamic_mw"`
+	FaultEvents uint64  `json:"fault_events"`
 }
 
 // methodSummary is one replay methodology's estimate and error.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"onocsim"
+	"onocsim/internal/cliutil"
 )
 
 // smallCfgFile writes a fast config and returns its path.
@@ -23,46 +24,67 @@ func smallCfgFile(t *testing.T) string {
 
 func TestRunExecMode(t *testing.T) {
 	for _, network := range []string{"ideal", "electrical", "optical"} {
-		if err := run(smallCfgFile(t), network, "exec", "ascii", false, 0); err != nil {
+		if err := run(smallCfgFile(t), network, "exec", "ascii", "", false, 0); err != nil {
 			t.Fatalf("exec on %s: %v", network, err)
 		}
 	}
 }
 
+func TestRunExecModeFaulted(t *testing.T) {
+	for _, preset := range []string{"light", "heavy"} {
+		if err := run(smallCfgFile(t), "optical", "exec", "ascii", preset, false, 0); err != nil {
+			t.Fatalf("faulted exec (%s): %v", preset, err)
+		}
+	}
+}
+
 func TestRunStudyMode(t *testing.T) {
-	if err := run(smallCfgFile(t), "optical", "study", "ascii", false, 0); err != nil {
+	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStudyModeSharded(t *testing.T) {
-	if err := run(smallCfgFile(t), "optical", "study", "ascii", false, 4); err != nil {
+	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", false, 4); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSONFormats(t *testing.T) {
 	cfgPath := smallCfgFile(t)
-	if err := run(cfgPath, "optical", "exec", "json", false, 0); err != nil {
+	if err := run(cfgPath, "optical", "exec", "json", "", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfgPath, "optical", "study", "json", false, 0); err != nil {
+	if err := run(cfgPath, "optical", "study", "json", "", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfgPath, "optical", "exec", "yaml", false, 0); err == nil {
+	if err := run(cfgPath, "optical", "exec", "yaml", "", false, 0); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }
 
-func TestRunRejections(t *testing.T) {
+// TestRunExitCodes is the table test for the standardized convention: every
+// bad flag value is a usage error (exit 2), while runtime failures such as a
+// missing config file exit 1.
+func TestRunExitCodes(t *testing.T) {
 	cfgPath := smallCfgFile(t)
-	if err := run(cfgPath, "optical", "teleport", "ascii", false, 0); err == nil {
-		t.Fatal("unknown mode accepted")
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"unknown mode", run(cfgPath, "optical", "teleport", "ascii", "", false, 0), 2},
+		{"unknown network", run(cfgPath, "warp", "exec", "ascii", "", false, 0), 2},
+		{"unknown format", run(cfgPath, "optical", "exec", "yaml", "", false, 0), 2},
+		{"unknown faults preset", run(cfgPath, "optical", "exec", "ascii", "catastrophic", false, 0), 2},
+		{"missing config", run(filepath.Join(t.TempDir(), "nope.json"), "optical", "exec", "ascii", "", false, 0), 1},
 	}
-	if err := run(cfgPath, "warp", "exec", "ascii", false, 0); err == nil {
-		t.Fatal("unknown network accepted")
-	}
-	if err := run(filepath.Join(t.TempDir(), "nope.json"), "optical", "exec", "ascii", false, 0); err == nil {
-		t.Fatal("missing config accepted")
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if got := cliutil.ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exit code %d, want %d (err: %v)", tc.name, got, tc.want, tc.err)
+		}
 	}
 }

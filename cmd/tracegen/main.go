@@ -14,7 +14,9 @@ import (
 	"os"
 
 	"onocsim"
+	"onocsim/internal/cliutil"
 	"onocsim/internal/trace"
+	"onocsim/internal/workload"
 )
 
 func main() {
@@ -27,13 +29,22 @@ func main() {
 		jsonOut   = flag.String("json", "", "optional JSON dump path")
 	)
 	flag.Parse()
-	if err := run(*cfgPath, *kernel, *cores, *captureOn, *out, *jsonOut); err != nil {
+	err := run(*cfgPath, *kernel, *cores, *captureOn, *out, *jsonOut)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
 	}
+	os.Exit(cliutil.ExitCode(err))
 }
 
 func run(cfgPath, kernel string, cores int, captureOn, out, jsonOut string) error {
+	switch captureOn {
+	case "ideal", "electrical", "optical":
+	default:
+		return cliutil.Usagef("unknown capture fabric %q (want ideal, electrical, or optical)", captureOn)
+	}
+	if kernel != "" && !knownKernel(kernel) {
+		return cliutil.Usagef("unknown kernel %q (want one of %v)", kernel, workload.KernelNames())
+	}
 	cfg := onocsim.DefaultConfig()
 	if cfgPath != "" {
 		var err error
@@ -80,4 +91,14 @@ func run(cfgPath, kernel string, cores int, captureOn, out, jsonOut string) erro
 		fmt.Printf("wrote %s\n", jsonOut)
 	}
 	return nil
+}
+
+// knownKernel reports whether name is one of the built-in workload kernels.
+func knownKernel(name string) bool {
+	for _, k := range workload.KernelNames() {
+		if k == name {
+			return true
+		}
+	}
+	return false
 }

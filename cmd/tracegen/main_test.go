@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"onocsim/internal/cliutil"
 	"onocsim/internal/trace"
 )
 
@@ -23,18 +24,26 @@ func TestRunCapturesAndWrites(t *testing.T) {
 	}
 }
 
+// TestRunRejectsBadInputs pins the shared exit-code convention: bad flag
+// values are usage errors (exit 2), while config-level failures exit 1.
 func TestRunRejectsBadInputs(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "x.sctm")
-	if err := run("", "nokernel", 16, "ideal", out, ""); err == nil {
-		t.Fatal("bad kernel accepted")
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"bad kernel", run("", "nokernel", 16, "ideal", out, ""), 2},
+		{"bad capture fabric", run("", "stencil", 16, "teleport", out, ""), 2},
+		{"non-square cores", run("", "stencil", 10, "ideal", out, ""), 1},
+		{"missing config", run(filepath.Join(t.TempDir(), "missing.json"), "", 0, "ideal", out, ""), 1},
 	}
-	if err := run("", "stencil", 10, "ideal", out, ""); err == nil {
-		t.Fatal("non-square cores accepted")
-	}
-	if err := run("", "stencil", 16, "teleport", out, ""); err == nil {
-		t.Fatal("bad capture fabric accepted")
-	}
-	if err := run(filepath.Join(t.TempDir(), "missing.json"), "", 0, "ideal", out, ""); err == nil {
-		t.Fatal("missing config accepted")
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if got := cliutil.ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exit code %d, want %d (err: %v)", tc.name, got, tc.want, tc.err)
+		}
 	}
 }

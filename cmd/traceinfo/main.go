@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"onocsim/internal/cliutil"
 	"onocsim/internal/metrics"
 	"onocsim/internal/trace"
 )
@@ -20,14 +21,16 @@ import (
 func main() {
 	verbose := flag.Bool("v", false, "also print the critical path event list")
 	flag.Parse()
+	var err error
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceinfo [-v] <trace.sctm>")
-		os.Exit(2)
+		err = cliutil.Usagef("usage: traceinfo [-v] <trace.sctm>")
+	} else {
+		err = run(flag.Arg(0), *verbose)
 	}
-	if err := run(flag.Arg(0), *verbose); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
 	}
+	os.Exit(cliutil.ExitCode(err))
 }
 
 func run(path string, verbose bool) error {

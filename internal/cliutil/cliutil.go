@@ -1,0 +1,39 @@
+// Package cliutil standardizes error-to-exit-code mapping across the
+// onocsim commands, following the flag package's convention: bad
+// command-line input exits 2, runtime failures exit 1, success exits 0.
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+)
+
+// UsageError marks an error caused by invalid command-line input (an unknown
+// flag value, a malformed positional argument) as opposed to a runtime
+// failure. Wrap-aware: ExitCode finds it anywhere in an error chain.
+type UsageError struct {
+	Err error
+}
+
+func (e UsageError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a UsageError from a format string.
+func Usagef(format string, args ...interface{}) error {
+	return UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// ExitCode maps an error to the conventional process exit code: 0 for nil,
+// 2 for usage errors, 1 for everything else.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ue UsageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
+}

@@ -1,0 +1,42 @@
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestExitCode pins the exit-code convention every command shares: usage
+// errors exit 2 (flag package convention), runtime failures exit 1.
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"runtime", errors.New("boom"), 1},
+		{"usage", Usagef("unknown mode %q", "teleport"), 2},
+		{"wrapped usage", fmt.Errorf("while parsing: %w", Usagef("bad flag")), 2},
+		{"wrapped runtime", fmt.Errorf("outer: %w", errors.New("inner")), 1},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestUsageErrorMessage checks the wrapper is transparent to callers that
+// just print the error.
+func TestUsageErrorMessage(t *testing.T) {
+	err := Usagef("unknown format %q (want ascii or json)", "xml")
+	want := `unknown format "xml" (want ascii or json)`
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+	var ue UsageError
+	if !errors.As(err, &ue) {
+		t.Error("errors.As failed to find UsageError")
+	}
+}

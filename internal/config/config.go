@@ -49,8 +49,78 @@ type Config struct {
 	// (a safety net against livelocked protocols, not a tuning knob).
 	MaxCycles int64 `json:"max_cycles"`
 
+	// Faults configures deterministic optical fault injection; the zero
+	// value disables it entirely.
+	Faults Faults `json:"faults"`
+
 	// Parallelism tunes intra-run execution; it can never change results.
 	Parallelism Parallelism `json:"parallelism"`
+}
+
+// Faults configures deterministic fault injection in the photonic fabrics
+// (internal/fault). Every schedule derives from Seed plus these parameters
+// alone, so the same (seed, faults) pair always yields the same fault
+// timeline — on any host, for any shard count. The zero value means "no
+// faults" and, uniquely, is omitted from Fingerprint so pre-existing cached
+// results for fault-free configs stay valid.
+type Faults struct {
+	// ThermalMTBF is the mean number of cycles between thermal drift
+	// windows on each optical channel's ring bank; 0 disables the class.
+	ThermalMTBF int64 `json:"thermal_mtbf"`
+	// ThermalDuration is how many cycles one drift window lasts.
+	ThermalDuration int64 `json:"thermal_duration"`
+	// ThermalDetune is the fraction of a channel's wavelengths detuned
+	// (unusable) while a drift window is active, in (0,1]. At least one
+	// wavelength always survives, so degradation is graceful.
+	ThermalDetune float64 `json:"thermal_detune"`
+	// TokenMTBF is the mean number of cycles between lost-token events on
+	// each MWSR home channel; 0 disables the class. The SWMR crossbar has
+	// no arbitration token and ignores this class.
+	TokenMTBF int64 `json:"token_mtbf"`
+	// TokenTimeout is the recovery latency: a channel whose token is lost
+	// stalls until the timeout fires and a fresh token is regenerated at
+	// the home node.
+	TokenTimeout int64 `json:"token_timeout"`
+	// LaserDroopDB shrinks the worst-case optical link margin by this many
+	// dB. Lightpaths whose loss exceeds the shrunken budget are derated
+	// (modulation rate halved per 3 dB of excess); the hybrid fabric
+	// reroutes such pairs over the electrical mesh instead.
+	LaserDroopDB float64 `json:"laser_droop_db"`
+}
+
+// Enabled reports whether any fault class is active.
+func (f Faults) Enabled() bool {
+	return f.ThermalMTBF > 0 || f.TokenMTBF > 0 || f.LaserDroopDB > 0
+}
+
+// FaultPreset returns a named fault configuration for the CLI -faults flag:
+// "off" (or "none") disables injection, "light" models occasional transients,
+// "heavy" models a chip near the edge of its thermal and power envelope.
+func FaultPreset(name string) (Faults, error) {
+	switch name {
+	case "", "off", "none":
+		return Faults{}, nil
+	case "light":
+		return Faults{
+			ThermalMTBF:     40_000,
+			ThermalDuration: 2_000,
+			ThermalDetune:   0.5,
+			TokenMTBF:       60_000,
+			TokenTimeout:    250,
+			LaserDroopDB:    1,
+		}, nil
+	case "heavy":
+		return Faults{
+			ThermalMTBF:     12_000,
+			ThermalDuration: 4_000,
+			ThermalDetune:   0.75,
+			TokenMTBF:       16_000,
+			TokenTimeout:    600,
+			LaserDroopDB:    3,
+		}, nil
+	default:
+		return Faults{}, fmt.Errorf("config: unknown fault preset %q (want off, light, or heavy)", name)
+	}
 }
 
 // Parallelism configures deterministic intra-run parallel execution. It is a
@@ -439,6 +509,23 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxCycles < 0 {
 		return fmt.Errorf("config: max_cycles must be ≥0")
+	}
+	f := &c.Faults
+	switch {
+	case f.ThermalMTBF < 0 || f.TokenMTBF < 0:
+		return fmt.Errorf("config: fault MTBFs must be ≥0 (thermal=%d token=%d)", f.ThermalMTBF, f.TokenMTBF)
+	case f.ThermalMTBF > 0 && f.ThermalDuration < 1:
+		return fmt.Errorf("config: faults.thermal_duration=%d must be ≥1 when thermal drift is enabled", f.ThermalDuration)
+	case f.ThermalMTBF > 0 && (f.ThermalDetune <= 0 || f.ThermalDetune > 1):
+		return fmt.Errorf("config: faults.thermal_detune=%g out of (0,1]", f.ThermalDetune)
+	case f.ThermalMTBF == 0 && (f.ThermalDuration != 0 || f.ThermalDetune != 0):
+		return fmt.Errorf("config: thermal fault parameters set but faults.thermal_mtbf=0")
+	case f.TokenMTBF > 0 && f.TokenTimeout < 1:
+		return fmt.Errorf("config: faults.token_timeout=%d must be ≥1 when token faults are enabled", f.TokenTimeout)
+	case f.TokenMTBF == 0 && f.TokenTimeout != 0:
+		return fmt.Errorf("config: faults.token_timeout set but faults.token_mtbf=0")
+	case f.LaserDroopDB < 0 || f.LaserDroopDB > 60:
+		return fmt.Errorf("config: faults.laser_droop_db=%g out of [0,60]", f.LaserDroopDB)
 	}
 	if c.Parallelism.Shards < 0 {
 		return fmt.Errorf("config: parallelism.shards must be ≥0")

@@ -86,6 +86,20 @@ func (c *Config) Fingerprint() (string, error) {
 	w.str(string(c.Network))
 	w.i64s(c.MaxCycles)
 
+	// The Faults section is hashed only when it differs from the zero value:
+	// appending nothing for fault-free configs keeps their fingerprints
+	// byte-identical to pre-fault releases, so persisted disk caches stay
+	// valid, while any non-default section (even a disabled-but-nonzero one)
+	// gets its own identity and can never collide with a no-fault result.
+	if c.Faults != (Faults{}) {
+		f := &c.Faults
+		w.str("faults")
+		w.i64s(f.ThermalMTBF, f.ThermalDuration)
+		w.f64(f.ThermalDetune)
+		w.i64s(f.TokenMTBF, f.TokenTimeout)
+		w.f64(f.LaserDroopDB)
+	}
+
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 

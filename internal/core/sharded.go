@@ -202,6 +202,14 @@ func (p *ShardedReplayer) Replay(tr *trace.Trace, inject []sim.Tick) (ReplayResu
 		return ReplayResult{}, err
 	}
 
+	// Fault events are per-channel, and every channel is owned by exactly
+	// one shard, so each replica's counters reproduce the serial run's
+	// tallies for its owned channels and zero elsewhere; summation is
+	// order-insensitive, hence equal to the serial totals.
+	for _, rs := range shardsState {
+		stats.Faults.Add(rs.net.Stats().Faults)
+	}
+
 	// Finalize exactly as finalizeResult does, with the serial engine's
 	// final clock reconstructed: the serial loop exits on the Tick that
 	// delivers the last message, so Now() there equals the last arrival.

@@ -44,6 +44,10 @@ type Options struct {
 	// conservative-lookahead engine. Results are byte-identical for any
 	// value (0 and 1 both mean serial); only wall-clock cells can differ.
 	Shards int
+	// Faults applies an optical fault-injection section to every kernel
+	// experiment config. The zero value leaves all experiments fault-free.
+	// R18 ignores it and sweeps the presets itself.
+	Faults config.Faults
 }
 
 func (o Options) cores() int {
@@ -74,6 +78,7 @@ func kernelConfig(o Options, kernel string) onocsim.Config {
 	if o.Shards > 0 {
 		cfg.Parallelism.Shards = o.Shards
 	}
+	cfg.Faults = o.Faults
 	cfg.Name = fmt.Sprintf("%s-%dc", kernel, cfg.System.Cores)
 	return cfg
 }
@@ -442,7 +447,7 @@ func All(o Options) ([]*metrics.Table, error) {
 	out = append(out, t1, t2)
 	for _, fn := range []func(Options) (*metrics.Table, error){
 		R3Convergence, R4LoadLatency, R5CaseStudy, R6Power, R7Scaling, R8Ablation,
-		R9Architectures, R10CaptureFabric, R11Damping, R12Hybrid, R13Photonics, R14WhatIf, R15League, R16Seeds, R17Memory,
+		R9Architectures, R10CaptureFabric, R11Damping, R12Hybrid, R13Photonics, R14WhatIf, R15League, R16Seeds, R17Memory, R18Faults,
 	} {
 		t, err := fn(o)
 		if err != nil {
@@ -489,7 +494,17 @@ func allParallel(o Options) ([]*metrics.Table, error) {
 // Names lists experiment identifiers accepted by cmd/expreport. R1–R8
 // reconstruct the paper's evaluation; R9–R11 are extensions.
 func Names() []string {
-	return []string{"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15", "r16", "r17"}
+	return []string{"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15", "r16", "r17", "r18"}
+}
+
+// Known reports whether name identifies an experiment runnable by ByName.
+func Known(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // ByName runs one experiment by its identifier.
@@ -529,6 +544,8 @@ func ByName(name string, o Options) (*metrics.Table, error) {
 		return R16Seeds(o)
 	case "r17":
 		return R17Memory(o)
+	case "r18":
+		return R18Faults(o)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}

@@ -136,8 +136,11 @@ func TestByNameUnknown(t *testing.T) {
 	if _, err := ByName("r99", quickOpts); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if len(Names()) != 17 {
+	if len(Names()) != 18 {
 		t.Fatalf("Names() = %v", Names())
+	}
+	if Known("r99") || !Known("r18") {
+		t.Fatal("Known misclassifies experiment names")
 	}
 }
 

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"onocsim"
+	"onocsim/internal/config"
+	"onocsim/internal/metrics"
+)
+
+// R18Faults measures graceful degradation under deterministic optical fault
+// injection: for each fault preset and fabric it reports the execution-driven
+// truth makespan, the slowdown versus the fault-free run on the same fabric,
+// the accuracy of naive replay and the self-correction model under the same
+// fault schedule, and the per-class fault counters. The ideal-fabric capture
+// is shared across every row (faults never touch the capture fabric), so the
+// sweep adds no capture work on a warm session. Options.Faults is ignored:
+// this experiment owns its fault sections.
+func R18Faults(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R18 (extension) — fault injection: degraded throughput and self-correction accuracy (stencil kernel)",
+		"faults", "fabric", "truth makespan", "slowdown", "naive err", "sctm err",
+		"token losses", "drifted", "derated", "rerouted")
+	base := kernelConfig(o, "stencil")
+	base.Faults = config.Faults{}
+	tr, _, err := o.Session.CaptureTrace(base, onocsim.IdealNet)
+	if err != nil {
+		return nil, err
+	}
+	fabrics := []struct {
+		name string
+		kind onocsim.NetworkKind
+	}{
+		{"optical", onocsim.Optical},
+		{"hybrid", onocsim.Hybrid},
+	}
+	// Fault-free makespan per fabric, denominator for the slowdown column.
+	baseline := map[string]float64{}
+	for _, preset := range []string{"off", "light", "heavy"} {
+		f, err := config.FaultPreset(preset)
+		if err != nil {
+			return nil, err
+		}
+		for _, fb := range fabrics {
+			cfg := base
+			cfg.Faults = f
+			truth, err := o.Session.RunExecutionDriven(cfg, fb.kind)
+			if err != nil {
+				return nil, err
+			}
+			nv, _, err := o.Session.RunNaiveReplay(cfg, tr, fb.kind)
+			if err != nil {
+				return nil, err
+			}
+			sc, _, err := o.Session.RunSelfCorrection(cfg, tr, fb.kind)
+			if err != nil {
+				return nil, err
+			}
+			slow := "1.00x"
+			if preset == "off" {
+				baseline[fb.name] = float64(truth.Makespan)
+			} else if b := baseline[fb.name]; b > 0 {
+				slow = fmt.Sprintf("%.2fx", float64(truth.Makespan)/b)
+			}
+			fc := truth.Faults
+			t.AddRow(preset, fb.name,
+				fmt.Sprintf("%d", truth.Makespan), slow,
+				pct(metrics.RelErr(float64(nv.Makespan), float64(truth.Makespan))),
+				pct(metrics.RelErr(float64(sc.Final.Makespan), float64(truth.Makespan))),
+				fmt.Sprintf("%d", fc.TokenLosses),
+				fmt.Sprintf("%d", fc.DriftedSends),
+				fmt.Sprintf("%d", fc.DeratedSends),
+				fmt.Sprintf("%d", fc.Rerouted))
+		}
+	}
+	t.Note("fault schedules are seeded: the same (seed, faults) pair replays the same outages on any shard count")
+	t.Note("hybrid reroutes droop-blacklisted lightpaths over the electrical mesh (the rerouted column)")
+	return t, nil
+}

@@ -32,8 +32,20 @@ type Network struct {
 	deliver noc.DeliverFunc
 	stats   *noc.Stats
 
+	// der consults the optical sub-fabric's laser-droop blacklist; rerouted
+	// counts messages diverted to the mesh because of it.
+	der      optDerater
+	rerouted uint64
+
 	// Sub-fabric routing counters.
 	ViaMesh, ViaOptical uint64
+}
+
+// optDerater is the slice of the crossbar API the reroute policy needs: the
+// droop-induced serialization multiplier of a lightpath. Both crossbars
+// implement it.
+type optDerater interface {
+	DerateFactor(src, dst int) sim.Tick
 }
 
 // New builds a hybrid fabric: messages with Manhattan distance ≥ threshold
@@ -41,6 +53,14 @@ type Network struct {
 // sends everything optical; a threshold above the mesh diameter sends
 // everything electrical.
 func New(nodes int, mesh config.Mesh, optical config.Optical, threshold int) *Network {
+	return NewWithFaults(nodes, mesh, optical, threshold, config.Faults{}, 0)
+}
+
+// NewWithFaults builds the hybrid fabric with deterministic fault injection
+// on the optical sub-fabric. Graceful degradation here is a routing policy:
+// lightpaths blacklisted by laser droop (DerateFactor > 1) fall back to the
+// electrical mesh instead of limping along at reduced rate.
+func NewWithFaults(nodes int, mesh config.Mesh, optical config.Optical, threshold int, faults config.Faults, seed uint64) *Network {
 	width := 1
 	for width*width < nodes {
 		width++
@@ -56,9 +76,11 @@ func New(nodes int, mesh config.Mesh, optical config.Optical, threshold int) *Ne
 		stats:     noc.NewStats(),
 	}
 	if optical.Architecture == "swmr" {
-		n.optical = onoc.NewSWMR(nodes, optical)
+		opt := onoc.NewSWMRWithFaults(nodes, optical, faults, seed)
+		n.optical, n.der = opt, opt
 	} else {
-		n.optical = onoc.New(nodes, optical)
+		opt := onoc.NewWithFaults(nodes, optical, faults, seed)
+		n.optical, n.der = opt, opt
 	}
 	relay := func(m *noc.Message) {
 		n.stats.RecordDelivery(m)
@@ -78,8 +100,15 @@ func (n *Network) Nodes() int { return n.nodes }
 func (n *Network) Now() sim.Tick { return n.mesh.Now() }
 
 // Stats implements noc.Network; it aggregates both sub-fabrics'
-// deliveries (sub-fabric stats remain accessible via Mesh/Optical).
-func (n *Network) Stats() *noc.Stats { return n.stats }
+// deliveries (sub-fabric stats remain accessible via Mesh/Optical). Fault
+// counters are folded in from the optical sub-fabric on each call — the
+// refresh is idempotent, so calling Stats repeatedly is safe.
+func (n *Network) Stats() *noc.Stats {
+	f := n.optical.Stats().Faults
+	f.Rerouted = n.rerouted
+	n.stats.Faults = f
+	return n.stats
+}
 
 // Mesh exposes the electrical sub-fabric (for power and diagnostics).
 func (n *Network) Mesh() *enoc.Network { return n.mesh }
@@ -104,13 +133,18 @@ func abs(x int) int {
 	return x
 }
 
-// Inject implements noc.Network: the path-adaptive routing decision.
+// Inject implements noc.Network: the path-adaptive routing decision, with
+// droop-blacklisted optical paths falling back to the electrical mesh.
 func (n *Network) Inject(m *noc.Message) {
 	n.stats.Injected++
 	if m.Src != m.Dst && n.distance(m.Src, m.Dst) >= n.threshold {
-		n.ViaOptical++
-		n.optical.Inject(m)
-		return
+		if n.der != nil && n.der.DerateFactor(m.Src, m.Dst) > 1 {
+			n.rerouted++
+		} else {
+			n.ViaOptical++
+			n.optical.Inject(m)
+			return
+		}
 	}
 	n.ViaMesh++
 	n.mesh.Inject(m)
@@ -159,12 +193,17 @@ func (n *Network) Reset() {
 	n.stats = noc.NewStats()
 	n.ViaMesh = 0
 	n.ViaOptical = 0
+	n.rerouted = 0
 }
 
-// ZeroLoadLatency implements noc.Network, following the routing decision.
+// ZeroLoadLatency implements noc.Network, following the routing decision —
+// including the droop-blacklist fallback, so SCTM's round-0 estimates match
+// where traffic will actually flow.
 func (n *Network) ZeroLoadLatency(src, dst, bytes int) sim.Tick {
 	if src != dst && n.distance(src, dst) >= n.threshold {
-		return n.optical.ZeroLoadLatency(src, dst, bytes)
+		if n.der == nil || n.der.DerateFactor(src, dst) == 1 {
+			return n.optical.ZeroLoadLatency(src, dst, bytes)
+		}
 	}
 	return n.mesh.ZeroLoadLatency(src, dst, bytes)
 }

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// close compares within a relative tolerance: batch Welford reorders float
+// operations, so results agree to rounding, not bit-for-bit.
+func closeTo(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+}
+
+// boundedVals maps arbitrary float inputs into a sane observation range:
+// property inputs include NaN/Inf/huge magnitudes the Summary contract does
+// not cover (it summarizes latencies and counts).
+func boundedVals(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, math.Mod(v, 1e6))
+	}
+	return out
+}
+
+func summariesAgree(t *testing.T, name string, a, b Summary) bool {
+	t.Helper()
+	if a.Count() != b.Count() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Logf("%s: count/min/max mismatch: %v vs %v", name, a.String(), b.String())
+		return false
+	}
+	if !closeTo(a.Sum(), b.Sum()) || !closeTo(a.Mean(), b.Mean()) || !closeTo(a.Variance(), b.Variance()) {
+		t.Logf("%s: moments mismatch: %v vs %v", name, a.String(), b.String())
+		return false
+	}
+	return true
+}
+
+// TestQuickMergeEquivalentToSequentialAdd is the satellite property test:
+// Merge(a, b) must equal adding every observation one by one — including the
+// empty-summary edges where min/max must come wholly from the other side.
+func TestQuickMergeEquivalentToSequentialAdd(t *testing.T) {
+	prop := func(xs, ys []float64) bool {
+		xv, yv := boundedVals(xs), boundedVals(ys)
+		var a, b Summary
+		var seq Summary
+		for _, v := range xv {
+			a.Add(v)
+			seq.Add(v)
+		}
+		for _, v := range yv {
+			b.Add(v)
+			seq.Add(v)
+		}
+		a.Merge(b)
+		return summariesAgree(t, "merge", a, seq)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Deterministic empty-side edges quick.Check may not generate.
+	var empty, full, seq Summary
+	full.Add(3)
+	seq.Add(3)
+	empty.Merge(full)
+	if !summariesAgree(t, "empty.Merge(full)", empty, seq) {
+		t.Error("empty receiver must take the other summary's min/max")
+	}
+	full.Merge(Summary{})
+	if !summariesAgree(t, "full.Merge(empty)", full, seq) {
+		t.Error("merging an empty summary must be a no-op")
+	}
+}
+
+// TestQuickAddNEquivalentToRepeatedAdd checks the closed-form batch update
+// against the loop it replaced.
+func TestQuickAddNEquivalentToRepeatedAdd(t *testing.T) {
+	prop := func(pre []float64, x float64, n uint16) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		count := uint64(n % 512)
+		var batch, loop Summary
+		for _, v := range boundedVals(pre) {
+			batch.Add(v)
+			loop.Add(v)
+		}
+		batch.AddN(x, count)
+		for i := uint64(0); i < count; i++ {
+			loop.Add(x)
+		}
+		return summariesAgree(t, "addn", batch, loop)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Edge: AddN into an empty summary must establish min/max from x.
+	var s Summary
+	s.AddN(-2.5, 4)
+	if s.Min() != -2.5 || s.Max() != -2.5 || s.Count() != 4 || !closeTo(s.Sum(), -10) {
+		t.Errorf("AddN on empty summary: %s", s.String())
+	}
+	s.AddN(7, 0)
+	if s.Count() != 4 || s.Max() != -2.5 {
+		t.Error("AddN with n=0 must be a no-op")
+	}
+}

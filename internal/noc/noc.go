@@ -256,6 +256,37 @@ type Stats struct {
 	HopCount metrics.Summary
 	// BytesDelivered totals payload bytes that completed.
 	BytesDelivered uint64
+	// Faults counts injected-fault events the fabric absorbed (all zero on
+	// fault-free runs, so persisted pre-fault statistics decode
+	// losslessly with the zero value).
+	Faults FaultCounts
+}
+
+// FaultCounts tallies fault events by class. Each event is attributable to
+// exactly one channel, and every counter is a plain sum, so sharded replicas'
+// counts add up to the serial run's — the property that keeps faulted runs
+// shard-invariant.
+type FaultCounts struct {
+	// TokenLosses counts lost-token events (each stalls one MWSR home
+	// channel until its timeout-and-regenerate recovery fires).
+	TokenLosses uint64
+	// DriftedSends counts transmissions serialized at reduced WDM degree
+	// because a thermal drift window detuned part of the channel's rings.
+	DriftedSends uint64
+	// DeratedSends counts transmissions slowed because laser droop left
+	// their lightpath short of margin at full modulation rate.
+	DeratedSends uint64
+	// Rerouted counts messages the hybrid fabric diverted to the
+	// electrical mesh because their optical path was blacklisted.
+	Rerouted uint64
+}
+
+// Add accumulates another tally (used when merging shard replicas).
+func (f *FaultCounts) Add(o FaultCounts) {
+	f.TokenLosses += o.TokenLosses
+	f.DriftedSends += o.DriftedSends
+	f.DeratedSends += o.DeratedSends
+	f.Rerouted += o.Rerouted
 }
 
 // NewStats returns an initialized stats block.

@@ -13,8 +13,10 @@ package onoc
 
 import (
 	"fmt"
+	"math"
 
 	"onocsim/internal/config"
+	"onocsim/internal/fault"
 	"onocsim/internal/noc"
 	"onocsim/internal/photonics"
 	"onocsim/internal/sim"
@@ -65,6 +67,16 @@ type Network struct {
 	stats    *noc.Stats
 
 	ser serTable
+
+	// Fault injection (nil / empty when the config carries no faults).
+	// faults schedules token losses and thermal drift windows; serDrift is
+	// the serialization table at drift-degraded channel capacity; derate
+	// maps serpentine hop count → rate-derating factor for lightpaths that
+	// no longer close at full rate under laser droop (nil when none do).
+	faults   *fault.Injector
+	serDrift serTable
+	derate   []sim.Tick
+	regens   uint64
 
 	channels []*channel
 	// active lists the channels with queued senders in ascending dst order,
@@ -191,6 +203,15 @@ func (h *arrivalHeap) pop() arrival {
 
 // New builds the crossbar for the given node count.
 func New(nodes int, cfg config.Optical) *Network {
+	return NewWithFaults(nodes, cfg, config.Faults{}, 0)
+}
+
+// NewWithFaults builds the crossbar with deterministic fault injection. The
+// schedule derives from seed and the fault parameters only, so two fabrics
+// built with equal (nodes, cfg, faults, seed) observe identical fault
+// timelines — including sharded replicas, which each own a disjoint subset
+// of the channels.
+func NewWithFaults(nodes int, cfg config.Optical, faults config.Faults, seed uint64) *Network {
 	if nodes < 2 {
 		panic(fmt.Sprintf("onoc: need ≥2 nodes, got %d", nodes))
 	}
@@ -204,16 +225,28 @@ func New(nodes int, cfg config.Optical) *Network {
 		stats:   noc.NewStats(),
 		ser:     serTable{bitsPerCycle: bpc},
 		devices: photonics.DefaultDeviceParams(),
+		faults:  fault.New(nodes, faults, seed),
 	}
-	budget, err := photonics.ComputeBudget(n.devices, photonics.CrossbarGeometry{
+	geom := photonics.CrossbarGeometry{
 		Nodes:                 nodes,
 		WavelengthsPerChannel: cfg.WavelengthsPerChannel,
 		DieEdgeCm:             cfg.DieEdgeCm,
-	})
+	}
+	budget, err := photonics.ComputeBudgetWithDroop(n.devices, geom, faults.LaserDroopDB)
 	if err != nil {
 		panic("onoc: " + err.Error())
 	}
 	n.budget = budget
+	if faults.ThermalMTBF > 0 {
+		// A drift window detunes ThermalDetune of the channel's rings;
+		// at least one wavelength always survives.
+		avail := cfg.WavelengthsPerChannel - int(float64(cfg.WavelengthsPerChannel)*faults.ThermalDetune)
+		if avail < 1 {
+			avail = 1
+		}
+		n.serDrift = serTable{bitsPerCycle: bpc * float64(avail) / float64(cfg.WavelengthsPerChannel)}
+	}
+	n.derate = derateTable(n.devices, geom, budget, faults.LaserDroopDB)
 	n.channels = make([]*channel, nodes)
 	for d := 0; d < nodes; d++ {
 		ch := &channel{dst: d, tokenPos: (d + 1) % nodes}
@@ -221,6 +254,40 @@ func New(nodes int, cfg config.Optical) *Network {
 		n.channels[d] = ch
 	}
 	return n
+}
+
+// derateTable maps serpentine hop count → serialization multiplier under a
+// drooped laser: halving the modulation rate recovers ≈3 dB of link margin,
+// so a lightpath whose loss exceeds the shrunken budget by e dB is slowed by
+// 2^ceil(e/3). Returns nil when every path still closes at full rate, which
+// keeps the fault-free fast path branch-free.
+func derateTable(p photonics.DeviceParams, g photonics.CrossbarGeometry, b photonics.Budget, droopDB float64) []sim.Tick {
+	if droopDB <= 0 || b.MaxFeasibleHops >= g.Nodes-1 {
+		return nil
+	}
+	feasible := b.WorstLossDB - droopDB
+	tab := make([]sim.Tick, g.Nodes)
+	for h := 1; h < g.Nodes; h++ {
+		tab[h] = 1
+		if excess := p.LossDB(g.PathAt(h)) - feasible; excess > 0 {
+			shift := int(math.Ceil(excess / 3))
+			if shift > 16 {
+				shift = 16
+			}
+			tab[h] = 1 << shift
+		}
+	}
+	return tab
+}
+
+// DerateFactor returns the serialization multiplier laser droop imposes on
+// the src→dst lightpath (1 when the path still closes at full rate). The
+// hybrid fabric consults it to reroute blacklisted pairs over the mesh.
+func (n *Network) DerateFactor(src, dst int) sim.Tick {
+	if n.derate == nil || src == dst {
+		return 1
+	}
+	return n.derate[(dst-src+n.nodes)%n.nodes]
 }
 
 // Nodes implements noc.Network.
@@ -239,9 +306,32 @@ func (n *Network) SetDeliver(fn noc.DeliverFunc) { n.deliver = fn }
 // Budget exposes the resolved static photonic budget for reporting.
 func (n *Network) Budget() photonics.Budget { return n.budget }
 
-// SerializationCycles returns the channel occupancy of a payload.
+// SerializationCycles returns the nominal (fault-free) channel occupancy of
+// a payload.
 func (n *Network) SerializationCycles(bytes int) sim.Tick {
 	return n.ser.cycles(bytes)
+}
+
+// sendSer returns the channel occupancy of one transmission under the fault
+// state at the transmit instant: an active thermal drift window shrinks the
+// channel's usable WDM degree, and laser droop derates lightpaths whose loss
+// no longer fits the shrunken margin. Both degrade bandwidth gracefully —
+// the message still goes through, just slower.
+func (n *Network) sendSer(m *noc.Message) sim.Tick {
+	var ser sim.Tick
+	if n.faults.DriftAt(m.Dst, n.now) {
+		ser = n.serDrift.cycles(m.Bytes)
+		n.stats.Faults.DriftedSends++
+	} else {
+		ser = n.ser.cycles(m.Bytes)
+	}
+	if n.derate != nil {
+		if f := n.derate[(m.Dst-m.Src+n.nodes)%n.nodes]; f > 1 {
+			ser *= f
+			n.stats.Faults.DeratedSends++
+		}
+	}
+	return ser
 }
 
 // propagation returns the light travel time from src to the channel reader
@@ -261,21 +351,61 @@ func (n *Network) propagation(src, dst int) sim.Tick {
 // max(TokenHopCycles, 1) cycles starting at max(tokenReady, 1) — is
 // reconstructed here the moment the channel matters again.
 func (n *Network) catchUp(ch *channel) {
+	n.advanceToken(ch, n.now)
+}
+
+// advanceToken replays the token's hop trajectory on a channel with no
+// queued senders through instant to, leaving tokenReady strictly beyond it.
+// Without token faults one closed-form division suffices; with them the
+// trajectory is piecewise — closed-form hopping between outage windows, with
+// each actionable moment that lands inside a window losing the token until
+// the timeout regenerates it at the home node. Because ticked execution
+// (stepChannel) checks the same schedule at the same actionable moments,
+// full ticking, idle skipping, and this catch-up all produce the identical
+// (tokenPos, tokenReady) trajectory — the skip-equivalence invariant.
+func (n *Network) advanceToken(ch *channel, to sim.Tick) {
 	first := ch.tokenReady
 	if first < 1 {
 		first = 1
 	}
-	if first > n.now {
+	if first > to {
 		return
 	}
 	period := sim.Tick(n.cfg.TokenHopCycles)
 	if period < 1 {
 		period = 1
 	}
-	steps := (n.now-first)/period + 1
-	ch.tokenPos = (ch.tokenPos + int(steps%sim.Tick(n.nodes))) % n.nodes
+	hop := sim.Tick(n.cfg.TokenHopCycles)
+	if !n.faults.TokenFaults() {
+		steps := (to-first)/period + 1
+		ch.tokenPos = (ch.tokenPos + int(steps%sim.Tick(n.nodes))) % n.nodes
+		ch.holdCount = 0
+		ch.tokenReady = first + (steps-1)*period + hop
+		return
+	}
+	if hop < 1 {
+		hop = period // degenerate configs: keep the loop advancing
+	}
+	m, pos := first, ch.tokenPos
+	for m <= to {
+		if end, ok := n.faults.TokenOutage(ch.dst, m); ok {
+			n.stats.Faults.TokenLosses++
+			n.regens++
+			pos = (ch.dst + 1) % n.nodes
+			m = end
+			continue
+		}
+		limit := to
+		if next := n.faults.NextTokenOutage(ch.dst, m); next-1 < limit {
+			limit = next - 1
+		}
+		steps := (limit-m)/period + 1
+		pos = (pos + int(steps%sim.Tick(n.nodes))) % n.nodes
+		m += (steps-1)*period + hop
+	}
+	ch.tokenPos = pos
 	ch.holdCount = 0
-	ch.tokenReady = first + (steps-1)*period + sim.Tick(n.cfg.TokenHopCycles)
+	ch.tokenReady = m
 }
 
 // Inject implements noc.Network.
@@ -351,12 +481,23 @@ func (n *Network) stepChannel(ch *channel) {
 	if ch.tokenReady > n.now {
 		return // token in flight or channel transmitting
 	}
+	// A lost token stalls the whole channel until the timeout regenerates
+	// it at the home node. The check runs at actionable moments only
+	// (now == tokenReady), matching advanceToken's idle-path replay.
+	if end, ok := n.faults.TokenOutage(ch.dst, n.now); ok {
+		n.stats.Faults.TokenLosses++
+		n.regens++
+		ch.tokenPos = (ch.dst + 1) % n.nodes
+		ch.holdCount = 0
+		ch.tokenReady = end
+		return
+	}
 	q := &ch.queues[ch.tokenPos]
 	if !q.empty() && ch.holdCount < n.cfg.MaxTokenHold {
 		m := q.pop()
 		ch.queued--
 		ch.holdCount++
-		ser := n.SerializationCycles(m.Bytes)
+		ser := n.sendSer(m)
 		oe := sim.Tick(n.cfg.OEOverheadCycles)
 		prop := n.propagation(m.Src, m.Dst)
 		n.stats.HopCount.Add(float64(n.now - m.Inject)) // token wait
@@ -446,23 +587,13 @@ func (n *Network) SkipTo(t sim.Tick) {
 	if t <= n.now {
 		return
 	}
-	period := sim.Tick(n.cfg.TokenHopCycles)
-	if period < 1 {
-		period = 1
-	}
+	// Every state transition leaves tokenReady strictly beyond now, so
+	// advanceToken's max(tokenReady, 1) start equals the max(tokenReady,
+	// now+1) this loop historically used; sharing the helper keeps the
+	// skipped trajectory — including any token losses discovered inside the
+	// stretch — byte-identical to catchUp's and to ticked execution's.
 	for _, ch := range n.active {
-		first := ch.tokenReady
-		if first < n.now+1 {
-			first = n.now + 1
-		}
-		if first > t {
-			continue // token still in flight at t
-		}
-		steps := (t-first)/period + 1
-		ch.tokenPos = (ch.tokenPos + int(steps%sim.Tick(n.nodes))) % n.nodes
-		ch.holdCount = 0
-		last := first + (steps-1)*period
-		ch.tokenReady = last + sim.Tick(n.cfg.TokenHopCycles)
+		n.advanceToken(ch, t)
 	}
 	n.now = t
 }
@@ -482,6 +613,10 @@ func (n *Network) Reset() {
 	n.inflight = 0
 	n.bitsSent = 0
 	n.grabs = 0
+	n.regens = 0
+	// Fault timelines are pure functions of (seed, faults, channel): their
+	// lazily-materialized windows persist across Reset and replay
+	// identically in the next round.
 	for d, ch := range n.channels {
 		for s := range ch.queues {
 			ch.queues[s].reset()
@@ -501,7 +636,14 @@ func (n *Network) ZeroLoadLatency(src, dst, bytes int) sim.Tick {
 		return 1
 	}
 	tokenWait := sim.Tick(int64(n.nodes) * n.cfg.TokenHopCycles / 2)
-	return tokenWait + sim.Tick(n.cfg.OEOverheadCycles) + n.SerializationCycles(bytes) + n.propagation(src, dst)
+	ser := n.SerializationCycles(bytes)
+	if n.derate != nil {
+		// Laser droop is a static degradation, so the zero-load estimate
+		// reflects it; transient faults (drift, token loss) do not shift
+		// the expectation and are charged only when they fire.
+		ser *= n.DerateFactor(src, dst)
+	}
+	return tokenWait + sim.Tick(n.cfg.OEOverheadCycles) + ser + n.propagation(src, dst)
 }
 
 // PowerReport implements noc.Network: static laser + ring tuning from the
@@ -509,21 +651,31 @@ func (n *Network) ZeroLoadLatency(src, dst, bytes int) sim.Tick {
 func (n *Network) PowerReport(elapsed sim.Tick, clockGHz float64) noc.PowerReport {
 	seconds := float64(elapsed) / (clockGHz * 1e9)
 	dynPJ := n.devices.DynamicEnergyPJ(int64(n.bitsSent))
-	// Charge a small electrical arbitration cost per token grab.
+	// Charge a small electrical arbitration cost per token grab, and a
+	// larger one per timeout-and-regenerate token recovery.
 	const tokenGrabPJ = 0.5
+	const tokenRegenPJ = 5.0
 	dynPJ += float64(n.grabs) * tokenGrabPJ
+	dynPJ += float64(n.regens) * tokenRegenPJ
 	dynMW := 0.0
 	if seconds > 0 {
 		dynMW = dynPJ * 1e-9 / seconds
 	}
 	static := n.budget.LaserPowerMW + n.budget.TuningPowerMW
+	breakdown := map[string]float64{
+		"laser_mw":     n.budget.LaserPowerMW,
+		"tuning_mw":    n.budget.TuningPowerMW,
+		"endpoints_mw": dynMW,
+	}
+	if n.budget.LaserDroopDB > 0 {
+		breakdown["laser_droop_db"] = n.budget.LaserDroopDB
+	}
+	if n.regens > 0 {
+		breakdown["token_regens"] = float64(n.regens)
+	}
 	return noc.PowerReport{
 		StaticMW:  static,
 		DynamicMW: dynMW,
-		Breakdown: map[string]float64{
-			"laser_mw":     n.budget.LaserPowerMW,
-			"tuning_mw":    n.budget.TuningPowerMW,
-			"endpoints_mw": dynMW,
-		},
+		Breakdown: breakdown,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"onocsim/internal/config"
+	"onocsim/internal/fault"
 	"onocsim/internal/noc"
 	"onocsim/internal/photonics"
 	"onocsim/internal/sim"
@@ -27,6 +28,14 @@ type SWMR struct {
 
 	ser serTable
 
+	// Fault injection (see Network): thermal drift shrinks a sender
+	// channel's usable WDM degree, laser droop derates over-budget
+	// lightpaths. SWMR has no arbitration token, so the token fault class
+	// does not apply and is ignored.
+	faults   *fault.Injector
+	serDrift serTable
+	derate   []sim.Tick
+
 	// chanFree[s] is the first cycle node s's send channel is free.
 	chanFree []sim.Tick
 	// queues[s] holds messages awaiting the channel, FIFO.
@@ -43,6 +52,13 @@ type SWMR struct {
 
 // NewSWMR builds the broadcast crossbar for the given node count.
 func NewSWMR(nodes int, cfg config.Optical) *SWMR {
+	return NewSWMRWithFaults(nodes, cfg, config.Faults{}, 0)
+}
+
+// NewSWMRWithFaults builds the broadcast crossbar with deterministic fault
+// injection. Token faults do not apply (no arbitration token exists) and are
+// ignored; thermal drift and laser droop degrade exactly as on MWSR.
+func NewSWMRWithFaults(nodes int, cfg config.Optical, faults config.Faults, seed uint64) *SWMR {
 	if nodes < 2 {
 		panic(fmt.Sprintf("onoc: swmr needs ≥2 nodes, got %d", nodes))
 	}
@@ -50,23 +66,36 @@ func NewSWMR(nodes int, cfg config.Optical) *SWMR {
 	if bpc <= 0 {
 		panic("onoc: non-positive channel capacity")
 	}
+	// Drop the inapplicable token class before building the injector so a
+	// token-only fault section costs nothing here.
+	faults.TokenMTBF, faults.TokenTimeout = 0, 0
 	n := &SWMR{
 		cfg:      cfg,
 		nodes:    nodes,
 		stats:    noc.NewStats(),
 		ser:      serTable{bitsPerCycle: bpc},
 		devices:  photonics.DefaultDeviceParams(),
+		faults:   fault.New(nodes, faults, seed),
 		chanFree: make([]sim.Tick, nodes),
 		queues:   make([]srcQueue, nodes),
 	}
-	budget, err := photonics.ComputeBudget(n.devices, photonics.CrossbarGeometry{
+	geom := photonics.CrossbarGeometry{
 		Nodes:                 nodes,
 		WavelengthsPerChannel: cfg.WavelengthsPerChannel,
 		DieEdgeCm:             cfg.DieEdgeCm,
-	})
+	}
+	budget, err := photonics.ComputeBudgetWithDroop(n.devices, geom, faults.LaserDroopDB)
 	if err != nil {
 		panic("onoc: " + err.Error())
 	}
+	if faults.ThermalMTBF > 0 {
+		avail := cfg.WavelengthsPerChannel - int(float64(cfg.WavelengthsPerChannel)*faults.ThermalDetune)
+		if avail < 1 {
+			avail = 1
+		}
+		n.serDrift = serTable{bitsPerCycle: bpc * float64(avail) / float64(cfg.WavelengthsPerChannel)}
+	}
+	n.derate = derateTable(n.devices, geom, budget, faults.LaserDroopDB)
 	// The ring count is symmetric with MWSR (N·(N-1) receiver banks here
 	// versus N·(N-1) modulator banks there), so tuning power matches. The
 	// SWMR penalty is the broadcast laser budget: every wavelength's
@@ -93,9 +122,38 @@ func (n *SWMR) SetDeliver(fn noc.DeliverFunc) { n.deliver = fn }
 // Budget exposes the resolved photonic budget.
 func (n *SWMR) Budget() photonics.Budget { return n.budget }
 
-// SerializationCycles returns the channel occupancy of a payload.
+// SerializationCycles returns the nominal (fault-free) channel occupancy of
+// a payload.
 func (n *SWMR) SerializationCycles(bytes int) sim.Tick {
 	return n.ser.cycles(bytes)
+}
+
+// swmrSendSer mirrors Network.sendSer for the broadcast crossbar: drift on
+// the sender's channel, droop derating by lightpath length.
+func (n *SWMR) swmrSendSer(m *noc.Message) sim.Tick {
+	var ser sim.Tick
+	if n.faults.DriftAt(m.Src, n.now) {
+		ser = n.serDrift.cycles(m.Bytes)
+		n.stats.Faults.DriftedSends++
+	} else {
+		ser = n.ser.cycles(m.Bytes)
+	}
+	if n.derate != nil {
+		if f := n.derate[(m.Dst-m.Src+n.nodes)%n.nodes]; f > 1 {
+			ser *= f
+			n.stats.Faults.DeratedSends++
+		}
+	}
+	return ser
+}
+
+// DerateFactor returns the droop-induced serialization multiplier for the
+// src→dst lightpath (1 when it closes at full rate).
+func (n *SWMR) DerateFactor(src, dst int) sim.Tick {
+	if n.derate == nil || src == dst {
+		return 1
+	}
+	return n.derate[(dst-src+n.nodes)%n.nodes]
 }
 
 // propagation mirrors the MWSR serpentine distance model.
@@ -141,7 +199,7 @@ func (n *SWMR) Tick() {
 			continue
 		}
 		m := n.queues[s].pop()
-		ser := n.SerializationCycles(m.Bytes)
+		ser := n.swmrSendSer(m)
 		oe := sim.Tick(n.cfg.OEOverheadCycles)
 		wait := n.now - m.Inject
 		n.stats.HopCount.Add(float64(wait))
@@ -236,7 +294,11 @@ func (n *SWMR) ZeroLoadLatency(src, dst, bytes int) sim.Tick {
 	if src == dst {
 		return 1
 	}
-	return sim.Tick(n.cfg.OEOverheadCycles) + n.SerializationCycles(bytes) + n.propagation(src, dst)
+	ser := n.SerializationCycles(bytes)
+	if n.derate != nil {
+		ser *= n.DerateFactor(src, dst) // static droop shifts the expectation
+	}
+	return sim.Tick(n.cfg.OEOverheadCycles) + ser + n.propagation(src, dst)
 }
 
 // PowerReport implements noc.Network.
@@ -248,13 +310,17 @@ func (n *SWMR) PowerReport(elapsed sim.Tick, clockGHz float64) noc.PowerReport {
 		dynMW = dynPJ * 1e-9 / seconds
 	}
 	static := n.budget.LaserPowerMW + n.budget.TuningPowerMW
+	breakdown := map[string]float64{
+		"laser_mw":     n.budget.LaserPowerMW,
+		"tuning_mw":    n.budget.TuningPowerMW,
+		"endpoints_mw": dynMW,
+	}
+	if n.budget.LaserDroopDB > 0 {
+		breakdown["laser_droop_db"] = n.budget.LaserDroopDB
+	}
 	return noc.PowerReport{
 		StaticMW:  static,
 		DynamicMW: dynMW,
-		Breakdown: map[string]float64{
-			"laser_mw":     n.budget.LaserPowerMW,
-			"tuning_mw":    n.budget.TuningPowerMW,
-			"endpoints_mw": dynMW,
-		},
+		Breakdown: breakdown,
 	}
 }

@@ -1,6 +1,9 @@
 package photonics
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // CrossbarGeometry describes the physical layout of a Corona-class
 // multiple-writer single-reader (MWSR) serpentine crossbar well enough to
@@ -29,16 +32,23 @@ func (g CrossbarGeometry) Validate() error {
 	return nil
 }
 
+// rows returns the edge length of the (ceil-)square node grid the serpentine
+// snakes across: the smallest r with r² ≥ Nodes. Both the waveguide length
+// and the bend count derive from it.
+func (g CrossbarGeometry) rows() int {
+	r := 1
+	for r*r < g.Nodes {
+		r++
+	}
+	return r
+}
+
 // SerpentineLengthCm estimates the full serpentine waveguide length: the
 // waveguide snakes across the die once per node row. We model the standard
 // layout where the serpentine visits every node once: length ≈ nodes/rowlen
 // passes of the die edge, with rowlen = sqrt(nodes).
 func (g CrossbarGeometry) SerpentineLengthCm() float64 {
-	rows := 1
-	for rows*rows < g.Nodes {
-		rows++
-	}
-	return float64(rows) * g.DieEdgeCm
+	return float64(g.rows()) * g.DieEdgeCm
 }
 
 // WorstPath returns the element counts of the longest lightpath: a writer
@@ -48,16 +58,37 @@ func (g CrossbarGeometry) WorstPath() PathProfile {
 	// Each intermediate node contributes one modulator bank of
 	// off-resonance rings on this channel (WavelengthsPerChannel rings),
 	// and the die-spanning serpentine contributes bends: 2 per row.
-	rows := 1
-	for rows*rows < g.Nodes {
-		rows++
-	}
 	return PathProfile{
 		Couplers:        2, // laser in, (conservatively) one more distribution coupler
 		WaveguideCm:     g.SerpentineLengthCm(),
-		Bends:           2 * rows,
+		Bends:           2 * g.rows(),
 		SplitterStages:  log2ceil(g.Nodes), // laser power distribution tree
 		RingsPassed:     (g.Nodes - 2) * g.WavelengthsPerChannel,
+		RingsDropped:    1,
+		Crossings:       0,
+		PhotodetectorOn: true,
+	}
+}
+
+// PathAt returns the element counts of a lightpath spanning hops serpentine
+// positions (1 ≤ hops ≤ Nodes−1): waveguide length and bends scale with the
+// traversed fraction of the serpentine, while couplers, the distribution
+// tree, and the drop stage are hop-independent. PathAt(Nodes−1) equals
+// WorstPath, anchoring the per-hop loss curve to the budget's worst case.
+func (g CrossbarGeometry) PathAt(hops int) PathProfile {
+	if hops < 1 {
+		hops = 1
+	}
+	if max := g.Nodes - 1; hops > max {
+		hops = max
+	}
+	frac := float64(hops) / float64(g.Nodes-1)
+	return PathProfile{
+		Couplers:        2,
+		WaveguideCm:     g.SerpentineLengthCm() * frac,
+		Bends:           int(math.Ceil(float64(2*g.rows()) * frac)),
+		SplitterStages:  log2ceil(g.Nodes),
+		RingsPassed:     (hops - 1) * g.WavelengthsPerChannel,
 		RingsDropped:    1,
 		Crossings:       0,
 		PhotodetectorOn: true,
@@ -81,29 +112,71 @@ type Budget struct {
 	TotalRings         int
 	WavelengthsOnChip  int
 	SerpentineLengthCm float64
+	// LaserDroopDB is the injected power droop the budget was resolved
+	// under (0 for a healthy laser), and MaxFeasibleHops the longest
+	// lightpath whose loss still fits the shrunken margin. Hops beyond it
+	// are not dark — the fabric derates them — but a system architect
+	// would call them infeasible at full rate.
+	LaserDroopDB   float64
+	MaxFeasibleHops int
 }
 
 // ComputeBudget resolves the full static budget for a geometry under the
 // given device parameters.
 func ComputeBudget(p DeviceParams, g CrossbarGeometry) (Budget, error) {
+	return ComputeBudgetWithDroop(p, g, 0)
+}
+
+// ComputeBudgetWithDroop resolves the budget for a laser whose output has
+// drooped by droopDB below nominal. The laser is still provisioned for the
+// nominal worst-case loss (WorstLossDB, LaserPowerMW are droop-independent),
+// but the margin actually available shrinks: lightpaths whose loss exceeds
+// WorstLossDB−droopDB no longer close at full modulation rate, which
+// MaxFeasibleHops exposes and the fabrics consume via DerateFactor tables.
+func ComputeBudgetWithDroop(p DeviceParams, g CrossbarGeometry, droopDB float64) (Budget, error) {
 	if err := p.Validate(); err != nil {
 		return Budget{}, err
 	}
 	if err := g.Validate(); err != nil {
 		return Budget{}, err
 	}
+	if droopDB < 0 {
+		return Budget{}, fmt.Errorf("photonics: laser droop must be ≥0 dB, got %g", droopDB)
+	}
 	worst := p.LossDB(g.WorstPath())
 	perWavelength := p.LaserPowerPerWavelengthMW(worst)
 	wavelengths := g.Nodes * g.WavelengthsPerChannel
 	rings := g.TotalRings()
-	return Budget{
+	b := Budget{
 		WorstLossDB:        worst,
 		LaserPowerMW:       perWavelength * float64(wavelengths),
 		TuningPowerMW:      p.TuningPowerMWPerRing * float64(rings),
 		TotalRings:         rings,
 		WavelengthsOnChip:  wavelengths,
 		SerpentineLengthCm: g.SerpentineLengthCm(),
-	}, nil
+		LaserDroopDB:       droopDB,
+		MaxFeasibleHops:    g.Nodes - 1,
+	}
+	if droopDB > 0 {
+		b.MaxFeasibleHops = g.MaxFeasibleHops(p, droopDB)
+	}
+	return b, nil
+}
+
+// MaxFeasibleHops returns the longest serpentine hop count whose lightpath
+// loss fits within the droop-shrunken margin WorstLossDB−droopDB, or 0 when
+// even adjacent nodes cannot close the link at full rate. Loss grows
+// monotonically with hops, so a linear scan from the short end suffices.
+func (g CrossbarGeometry) MaxFeasibleHops(p DeviceParams, droopDB float64) int {
+	feasible := p.LossDB(g.WorstPath()) - droopDB
+	max := 0
+	for h := 1; h < g.Nodes; h++ {
+		if p.LossDB(g.PathAt(h)) > feasible {
+			break
+		}
+		max = h
+	}
+	return max
 }
 
 // DynamicEnergyPJ returns the endpoint dynamic energy of moving bits

@@ -1,0 +1,84 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRowsNonSquare pins rows() — the shared helper behind the serpentine
+// length, the bend count, and the per-hop path profiles — on node counts
+// that are not perfect squares: the smallest r with r² ≥ Nodes.
+func TestRowsNonSquare(t *testing.T) {
+	cases := []struct{ nodes, want int }{
+		{2, 2}, {3, 2}, {4, 2}, {5, 3}, {9, 3}, {10, 4}, {16, 4}, {17, 5}, {63, 8}, {64, 8}, {65, 9},
+	}
+	for _, c := range cases {
+		g := CrossbarGeometry{Nodes: c.nodes, WavelengthsPerChannel: 4, DieEdgeCm: 2}
+		if got := g.rows(); got != c.want {
+			t.Errorf("rows(%d nodes) = %d, want %d", c.nodes, got, c.want)
+		}
+		if got, want := g.SerpentineLengthCm(), float64(c.want)*2; got != want {
+			t.Errorf("serpentine(%d nodes) = %g, want %g", c.nodes, got, want)
+		}
+	}
+}
+
+// TestPathAtAnchorsWorstPath checks the per-hop loss curve ends exactly at
+// the budget's worst case and grows monotonically with distance.
+func TestPathAtAnchorsWorstPath(t *testing.T) {
+	p := DefaultDeviceParams()
+	for _, nodes := range []int{10, 16, 64} {
+		g := CrossbarGeometry{Nodes: nodes, WavelengthsPerChannel: 16, DieEdgeCm: 2}
+		if got, want := g.PathAt(nodes-1), g.WorstPath(); got != want {
+			t.Errorf("%d nodes: PathAt(N-1) = %+v, want WorstPath %+v", nodes, got, want)
+		}
+		prev := math.Inf(-1)
+		for h := 1; h < nodes; h++ {
+			loss := p.LossDB(g.PathAt(h))
+			if loss < prev {
+				t.Fatalf("%d nodes: loss not monotone at hop %d (%g < %g)", nodes, h, loss, prev)
+			}
+			prev = loss
+		}
+		// Out-of-range hops clamp instead of exploding.
+		if g.PathAt(0) != g.PathAt(1) || g.PathAt(nodes+5) != g.PathAt(nodes-1) {
+			t.Errorf("%d nodes: PathAt does not clamp", nodes)
+		}
+	}
+}
+
+// TestMaxFeasibleHopsMonotone checks more droop never lengthens the feasible
+// range, zero-margin keeps every hop feasible, and the budget carries it.
+func TestMaxFeasibleHopsMonotone(t *testing.T) {
+	p := DefaultDeviceParams()
+	g := CrossbarGeometry{Nodes: 64, WavelengthsPerChannel: 16, DieEdgeCm: 2}
+	prev := g.Nodes - 1
+	for droop := 0.0; droop <= 30; droop += 1.5 {
+		h := g.MaxFeasibleHops(p, droop)
+		if h > prev {
+			t.Fatalf("droop %g dB lengthened feasible range: %d > %d", droop, h, prev)
+		}
+		prev = h
+	}
+	if g.MaxFeasibleHops(p, 0) != g.Nodes-1 {
+		t.Error("zero droop must keep every hop feasible")
+	}
+
+	b, err := ComputeBudgetWithDroop(p, g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LaserDroopDB != 6 || b.MaxFeasibleHops != g.MaxFeasibleHops(p, 6) {
+		t.Errorf("budget droop fields: %+v", b)
+	}
+	clean, err := ComputeBudget(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.LaserDroopDB != 0 || clean.MaxFeasibleHops != g.Nodes-1 {
+		t.Errorf("clean budget droop fields: %+v", clean)
+	}
+	if _, err := ComputeBudgetWithDroop(p, g, -1); err == nil {
+		t.Error("negative droop accepted")
+	}
+}

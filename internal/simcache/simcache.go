@@ -88,6 +88,13 @@ type Stats struct {
 	Waits uint64
 	// DiskHits is the number of trace loads served by the disk layer.
 	DiskHits uint64
+	// DiskErrors is the number of failed disk-layer writes (MkdirAll,
+	// temp-file write, or rename). The cache degrades to memory-only on
+	// such failures by design — results are never lost — but silently: a
+	// read-only or full cache dir would otherwise look healthy while
+	// persisting nothing, so the count (plus a once-per-process stderr
+	// warning) surfaces the degradation.
+	DiskErrors uint64
 }
 
 // Cache is a concurrent memoization table for simulation results.
@@ -173,17 +180,36 @@ func (c *Cache) valuePath(key Key) string {
 // swallowed: a read-only or full cache directory degrades to in-memory
 // caching rather than failing the run.
 func (c *Cache) writeAtomic(path string, write func(string) error) {
-	if os.MkdirAll(c.dir, 0o755) != nil {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		c.diskError(err)
 		return
 	}
 	tmp := fmt.Sprintf("%s.%d.tmp", path, os.Getpid())
 	if err := write(tmp); err != nil {
 		os.Remove(tmp)
+		c.diskError(err)
 		return
 	}
-	if os.Rename(tmp, path) != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		c.diskError(err)
 	}
+}
+
+// diskWarnOnce gates the stderr warning to once per process: a full or
+// read-only cache dir fails every write, and one line says it all.
+var diskWarnOnce sync.Once
+
+// diskError records a failed disk-layer write. The cache stays correct —
+// the result lives on in memory — but persistence is degraded, which the
+// DiskErrors counter and a one-time warning make visible.
+func (c *Cache) diskError(err error) {
+	c.mu.Lock()
+	c.stats.DiskErrors++
+	c.mu.Unlock()
+	diskWarnOnce.Do(func() {
+		fmt.Fprintf(os.Stderr, "simcache: disk cache write failed (%v); continuing memory-only — results from this session will not persist\n", err)
+	})
 }
 
 // valueFormatVersion guards persisted results against schema drift: decoding

@@ -236,9 +236,10 @@ func TestDoTraceErrorNotPersisted(t *testing.T) {
 	}
 }
 
-func TestDoTraceUnwritableDirDegradesSilently(t *testing.T) {
+func TestDoTraceUnwritableDirDegradesGracefully(t *testing.T) {
 	// A cache directory that cannot be created must not fail the run: the
-	// session falls back to in-memory memoization.
+	// session falls back to in-memory memoization — but the degradation is
+	// observable, not silent: DiskErrors counts every failed write.
 	bad := filepath.Join(t.TempDir(), "file")
 	if err := os.WriteFile(bad, []byte("not a dir"), 0o644); err != nil {
 		t.Fatal(err)
@@ -250,8 +251,24 @@ func TestDoTraceUnwritableDirDegradesSilently(t *testing.T) {
 	if err != nil || got != want {
 		t.Fatalf("unwritable dir leaked into the result: tr=%p err=%v", got, err)
 	}
-	if st := c.Stats(); st.Misses != 1 {
-		t.Fatalf("stats = %+v", st)
+	if st := c.Stats(); st.Misses != 1 || st.DiskErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 miss and 1 disk error", st)
+	}
+	// The value path degrades the same way, and the counter accumulates.
+	v, err := DoValue(c, testKey(99), func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("DoValue under unwritable dir: %v, %v", v, err)
+	}
+	if st := c.Stats(); st.DiskErrors != 2 {
+		t.Fatalf("stats = %+v, want 2 disk errors", st)
+	}
+	// A memory-only cache must never count disk errors.
+	m := New("")
+	if _, err := DoValue(m, testKey(1), func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.DiskErrors != 0 {
+		t.Fatalf("memory-only cache counted disk errors: %+v", st)
 	}
 }
 

@@ -94,6 +94,8 @@ type SyntheticResult struct {
 	// Saturated is set when the drain phase hit its bound, meaning the
 	// network could not accept the offered load.
 	Saturated bool
+	// Faults counts injected-fault events absorbed during the run.
+	Faults noc.FaultCounts
 }
 
 // RunSynthetic drives a fabric open-loop: every node injects packets of
@@ -189,6 +191,7 @@ func RunSynthetic(net noc.Network, cfg config.Workload, flitBytes int, seed uint
 	res.MeanLatency = st.Latency.Mean()
 	res.P99Latency = st.Latency.ApproxPercentile(99)
 	res.Cycles = net.Now()
+	res.Faults = st.Faults
 	if res.Cycles > 0 {
 		res.Throughput = float64(st.Delivered) * float64(flitsPerPkt) / float64(nodes) / float64(res.Cycles)
 	}

@@ -82,12 +82,22 @@ func normalizeFor(cfg Config, kind NetworkKind, op simcache.Op) Config {
 	default:
 		n.SCTM = def.SCTM
 	}
+	// Fault injection exists only in the photonic fabrics; for the rest the
+	// section is inert and masked like any unread fabric section.
+	if kind != config.NetOptical && kind != config.NetHybrid {
+		n.Faults = def.Faults
+	}
 	// Replays observe only the target fabric (plus the toggles above): the
 	// program generation inputs are baked into the trace, whose identity is
-	// keyed separately via Key.Capture.
+	// keyed separately via Key.Capture. Seed is an exception when the
+	// target fabric injects faults — fault schedules derive from (Seed,
+	// Faults), so two seeds degrade the fabric differently and must not
+	// share a replay result.
 	switch op {
 	case simcache.OpNaive, simcache.OpCoupled, simcache.OpSCTM:
-		n.Seed = def.Seed
+		if !n.Faults.Enabled() {
+			n.Seed = def.Seed
+		}
 		n.System = def.System
 		n.Workload = def.Workload
 		n.MaxCycles = def.MaxCycles
