@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json report report-csv examples clean
+.PHONY: all build vet fmt-check check test test-race bench bench-json report report-csv experiments-md examples clean
 
 all: build vet test test-race
 
@@ -13,8 +13,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# gofmt -l prints unformatted files; any output fails the target.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Static checks plus the golden-file rendering gate: the ASCII output of the
+# pinned experiments must stay byte-identical (cmd/expreport/testdata).
+check: vet fmt-check
+	$(GO) test ./cmd/expreport/ -run TestGolden -count=1
+
 # Tier-1 gate: vet runs first so static mistakes fail fast, before the
-# (much slower) test sweep.
+# (much slower) test sweep; the golden rendering tests run as part of the
+# cmd/expreport package.
 test: vet
 	$(GO) test ./...
 
@@ -33,9 +43,9 @@ bench:
 # the engine micro-benchmarks, folds the results into $(BENCH_OUT) against
 # the committed $(BENCH_BASE) reference, and fails on a >25% regression so
 # earlier PRs' performance wins stay locked in. Override the variables to
-# re-baseline, e.g. `make bench-json BENCH_OUT=tmp.json BENCH_BASE=BENCH_PR4.json`.
-BENCH_OUT ?= BENCH_PR4.json
-BENCH_BASE ?= BENCH_PR3.json
+# re-baseline, e.g. `make bench-json BENCH_OUT=tmp.json BENCH_BASE=BENCH_PR5.json`.
+BENCH_OUT ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR4.json
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress 25
 
@@ -44,7 +54,12 @@ report:
 	$(GO) run ./cmd/expreport -exp all | tee results_full.txt
 
 report-csv:
-	$(GO) run ./cmd/expreport -exp all -csv
+	$(GO) run ./cmd/expreport -exp all -format csv
+
+# Markdown rendering of the evaluation via the typed-JSON path — the same
+# pipeline that regenerates EXPERIMENTS.md's measured tables.
+experiments-md:
+	$(GO) run ./cmd/expreport -exp all -format json | $(GO) run ./cmd/mdreport
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"onocsim/internal/cliutil"
+	"onocsim/internal/metrics"
 )
 
 // Result is one benchmark measurement.
@@ -123,17 +125,52 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "baseline run to embed: raw `go test -bench` text or a benchjson snapshot")
 	maxRegress := flag.Float64("maxregress", 0, "fail (exit 1) if any benchmark regresses more than this percent vs the baseline (0 disables)")
+	table := flag.Bool("table", false, "also render the comparison as an aligned ASCII table on stderr (stdout when -out is set)")
 	flag.Parse()
-	err := run(os.Stdin, *out, *baseline, *maxRegress)
+	err := run(os.Stdin, *out, *baseline, *maxRegress, *table)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 	}
 	os.Exit(cliutil.ExitCode(err))
 }
 
+// comparisonTable renders a snapshot as a typed table, one row per current
+// benchmark in name order, with baseline and speedup columns when a baseline
+// is present.
+func comparisonTable(snap Snapshot) *metrics.Table {
+	names := make([]string, 0, len(snap.Current))
+	for name := range snap.Current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	t := metrics.NewTable("benchmark comparison (ns/op)",
+		"benchmark", "baseline", "current", "speedup", "B/op", "allocs/op")
+	for _, name := range names {
+		c := snap.Current[name]
+		base, hasBase := snap.Baseline[name]
+		baseCell := metrics.String("—")
+		speedCell := metrics.String("—")
+		if hasBase {
+			baseCell = metrics.Float(base.NsPerOp, 0, "ns/op")
+			if sp, ok := snap.Speedup[name]; ok {
+				speedCell = metrics.Ratio(sp, 2)
+			}
+		}
+		t.AddCells(
+			metrics.String(strings.TrimPrefix(name, "Benchmark")),
+			baseCell,
+			metrics.Float(c.NsPerOp, 0, "ns/op"),
+			speedCell,
+			metrics.Int(c.BytesPerOp, "B/op"),
+			metrics.Int(c.AllocsPerOp, "allocs/op"),
+		)
+	}
+	return t
+}
+
 // run converts stdin into a snapshot. A failed regression gate is a runtime
 // failure (exit 1), matching CI conventions; only bad flag values exit 2.
-func run(stdin io.Reader, out, baseline string, maxRegress float64) error {
+func run(stdin io.Reader, out, baseline string, maxRegress float64, table bool) error {
 	if maxRegress < 0 {
 		return cliutil.Usagef("negative -maxregress %v (want a percentage >= 0)", maxRegress)
 	}
@@ -178,6 +215,17 @@ func run(stdin io.Reader, out, baseline string, maxRegress float64) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), out)
+	}
+	if table {
+		// With -out, stdout is free for the table; otherwise it carries the
+		// JSON and the table goes to stderr.
+		tw := os.Stderr
+		if out != "" {
+			tw = os.Stdout
+		}
+		if err := comparisonTable(snap).WriteASCII(tw); err != nil {
+			return err
+		}
 	}
 	if len(regressions) > 0 {
 		// The snapshot is still written above: the numbers that failed the

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -18,7 +19,7 @@ BenchmarkSlow-8     10    9000 ns/op
 
 func TestRunWritesSnapshot(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(strings.NewReader(benchOutput), out, "", 0); err != nil {
+	if err := run(strings.NewReader(benchOutput), out, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -39,7 +40,7 @@ func TestRunWritesSnapshot(t *testing.T) {
 func TestRunExitCodes(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")
-	if err := run(strings.NewReader(benchOutput), base, "", 0); err != nil {
+	if err := run(strings.NewReader(benchOutput), base, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	regressed := strings.ReplaceAll(benchOutput, "9000 ns/op", "90000 ns/op")
@@ -48,10 +49,10 @@ func TestRunExitCodes(t *testing.T) {
 		err  error
 		want int
 	}{
-		{"negative maxregress", run(strings.NewReader(benchOutput), "", "", -1), 2},
-		{"empty stdin", run(strings.NewReader(""), "", "", 0), 1},
-		{"missing baseline", run(strings.NewReader(benchOutput), "", filepath.Join(dir, "absent.json"), 0), 1},
-		{"regression gate", run(strings.NewReader(regressed), filepath.Join(dir, "out.json"), base, 25), 1},
+		{"negative maxregress", run(strings.NewReader(benchOutput), "", "", -1, false), 2},
+		{"empty stdin", run(strings.NewReader(""), "", "", 0, false), 1},
+		{"missing baseline", run(strings.NewReader(benchOutput), "", filepath.Join(dir, "absent.json"), 0, false), 1},
+		{"regression gate", run(strings.NewReader(regressed), filepath.Join(dir, "out.json"), base, 25, false), 1},
 	}
 	for _, tc := range cases {
 		if tc.err == nil {
@@ -68,11 +69,11 @@ func TestRunExitCodes(t *testing.T) {
 func TestRunGatePasses(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")
-	if err := run(strings.NewReader(benchOutput), base, "", 0); err != nil {
+	if err := run(strings.NewReader(benchOutput), base, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out.json")
-	if err := run(strings.NewReader(benchOutput), out, base, 25); err != nil {
+	if err := run(strings.NewReader(benchOutput), out, base, 25, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -85,5 +86,31 @@ func TestRunGatePasses(t *testing.T) {
 	}
 	if snap.Speedup["BenchmarkFast"] != 1 {
 		t.Fatalf("speedup = %v", snap.Speedup)
+	}
+}
+
+// TestComparisonTable checks the -table rendering: rows in name order, the
+// baseline and speedup columns filled when present and dashed when not.
+func TestComparisonTable(t *testing.T) {
+	snap := Snapshot{
+		Current: map[string]Result{
+			"BenchmarkZeta": {NsPerOp: 2000, BytesPerOp: 64, AllocsPerOp: 2},
+			"BenchmarkAlfa": {NsPerOp: 500},
+		},
+		Baseline: map[string]Result{"BenchmarkZeta": {NsPerOp: 3000}},
+		Speedup:  map[string]float64{"BenchmarkZeta": 1.5},
+	}
+	var buf bytes.Buffer
+	if err := comparisonTable(snap).WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Index(out, "Alfa") > strings.Index(out, "Zeta") {
+		t.Fatalf("rows not sorted by name:\n%s", out)
+	}
+	for _, want := range []string{"1.50x", "3000", "—"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
 	}
 }

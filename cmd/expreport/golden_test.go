@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"onocsim/internal/experiments"
+	"onocsim/internal/metrics"
+)
+
+// maskWallClock replaces host-time cells, the only nondeterministic content a
+// table can carry, so the remaining bytes are pinnable. The three golden
+// tables below contain none today; the mask keeps the tests honest if a
+// wall-clock column is ever added to one.
+func maskWallClock(t *metrics.Table) {
+	for r := 0; r < t.NumRows(); r++ {
+		for c := range t.Columns {
+			if t.At(r, c).Kind == metrics.KindDuration {
+				t.SetCell(r, c, metrics.String("MASKED"))
+			}
+		}
+	}
+}
+
+// TestGoldenASCII pins the ASCII rendering of representative experiments to
+// byte-identical golden files captured before the typed-cell refactor: R1
+// (the headline accuracy table), R4 (the synthetic load sweep: floats, bools)
+// and R18 (the fault sweep: ratios, percentages, counters). Simulations are
+// deterministic, so any diff is a rendering or modeling change — regenerate
+// with:
+//
+//	go run ./cmd/expreport -exp rN -quick -cores 16 -seed 42 > testdata/rN_quick.golden
+func TestGoldenASCII(t *testing.T) {
+	opts := experiments.Options{Seed: 42, Cores: 16, Quick: true}
+	for _, id := range []string{"r1", "r4", "r18"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tb, err := experiments.ByName(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maskWallClock(tb)
+			var got bytes.Buffer
+			if err := tb.WriteASCII(&got); err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", id+"_quick.golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("%s ASCII drifted from golden:\n--- got ---\n%s--- want ---\n%s", id, got.String(), want)
+			}
+		})
+	}
+}

@@ -1,28 +1,34 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"onocsim/internal/cliutil"
 	"onocsim/internal/experiments"
+	"onocsim/internal/metrics"
 )
 
 var quick = experiments.Options{Seed: 42, Cores: 16, Quick: true}
 
 func TestRunSingleExperimentASCIIAndCSV(t *testing.T) {
-	if err := run("r1", quick, false, ""); err != nil {
+	var buf bytes.Buffer
+	if err := run(&buf, "r1", quick, "ascii", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("r1", quick, true, ""); err != nil {
+	if err := run(&buf, "r1", quick, "csv", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesCSVFiles(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("r13", quick, false, dir); err != nil {
+	var buf bytes.Buffer
+	if err := run(&buf, "r13", quick, "ascii", dir); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "r13.csv"))
@@ -35,12 +41,106 @@ func TestRunWritesCSVFiles(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("r99", quick, false, ""); err == nil {
+	err := run(&bytes.Buffer{}, "r99", quick, "ascii", "")
+	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run("all", experiments.Options{Seed: 1, Cores: 16, Quick: true}, true, ""); err != nil {
+	if cliutil.ExitCode(err) != 2 {
+		t.Fatalf("unknown experiment should be a usage error (exit 2), got %v (exit %d)", err, cliutil.ExitCode(err))
+	}
+	if err := run(&bytes.Buffer{}, "all", experiments.Options{Seed: 1, Cores: 16, Quick: true}, "csv", ""); err != nil {
 		// "all" must also fail loudly on an unknown id embedded in the
 		// sequence — it shouldn't here.
 		t.Fatalf("all (quick, csv): %v", err)
+	}
+}
+
+func TestRunFormatValidation(t *testing.T) {
+	for _, bad := range []string{"yaml", "", "Json", "ascii,csv"} {
+		err := run(&bytes.Buffer{}, "r13", quick, bad, "")
+		if err == nil {
+			t.Fatalf("format %q accepted", bad)
+		}
+		if cliutil.ExitCode(err) != 2 {
+			t.Fatalf("format %q: want usage error (exit 2), got %v (exit %d)", bad, err, cliutil.ExitCode(err))
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runList(&buf, "ascii"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"r1", "r18", "heavy", "light", "kernel-studies"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+	if err := runList(&bytes.Buffer{}, "nope"); cliutil.ExitCode(err) != 2 {
+		t.Fatalf("bad list format: want exit 2, got %v", err)
+	}
+	var jbuf bytes.Buffer
+	if err := runList(&jbuf, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version int `json:"version"`
+		Results []struct {
+			ID    string         `json:"id"`
+			Table *metrics.Table `json:"table"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(jbuf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 1 || doc.Results[0].Table.NumRows() != len(experiments.Registry()) {
+		t.Fatalf("list json: want one table with %d rows, got %+v", len(experiments.Registry()), doc)
+	}
+}
+
+// TestRunJSONRoundTrip pins the -format json contract: the document is
+// versioned, cells carry numeric values and units, and a decoded table
+// renders byte-identically to the directly rendered ASCII.
+func TestRunJSONRoundTrip(t *testing.T) {
+	var jbuf bytes.Buffer
+	if err := run(&jbuf, "r13", quick, "json", ""); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version int `json:"version"`
+		Results []struct {
+			ID    string         `json:"id"`
+			Table *metrics.Table `json:"table"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(jbuf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != metrics.TableFormatVersion {
+		t.Fatalf("doc version = %d, want %d", doc.Version, metrics.TableFormatVersion)
+	}
+	if len(doc.Results) != 1 || doc.Results[0].ID != "r13" {
+		t.Fatalf("want one r13 result, got %+v", doc.Results)
+	}
+	decoded := doc.Results[0].Table
+	if v, ok := decoded.At(0, 0).Value(); !ok || v != 16 {
+		t.Fatalf("decoded cell (0,0) lost its numeric value: %+v", decoded.At(0, 0))
+	}
+	if unit := decoded.At(0, 0).Unit; unit != "nodes" {
+		t.Fatalf("decoded cell (0,0) lost its unit: %q", unit)
+	}
+
+	var direct bytes.Buffer
+	if err := run(&direct, "r13", quick, "ascii", ""); err != nil {
+		t.Fatal(err)
+	}
+	var rendered bytes.Buffer
+	if err := decoded.WriteASCII(&rendered); err != nil {
+		t.Fatal(err)
+	}
+	if rendered.String() != direct.String() {
+		t.Fatalf("decoded table renders differently:\n--- direct ---\n%s--- decoded ---\n%s", direct.String(), rendered.String())
 	}
 }

@@ -1,0 +1,99 @@
+// Command mdreport converts the versioned JSON document of `expreport
+// -format json` into GitHub-flavored markdown tables, one section per
+// experiment. EXPERIMENTS.md's measured tables are regenerated through this
+// path (see `make experiments-md`), so the committed markdown is a rendering
+// of the same typed cells the ASCII and CSV views show.
+//
+// Usage:
+//
+//	expreport -exp all -quick -format json | mdreport
+//	expreport -exp r1 -format json | mdreport > r1.md
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"onocsim/internal/cliutil"
+	"onocsim/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mdreport:", err)
+		os.Exit(cliutil.ExitCode(err))
+	}
+}
+
+// resultsDoc mirrors the document cmd/expreport emits.
+type resultsDoc struct {
+	Version int `json:"version"`
+	Results []struct {
+		ID    string         `json:"id"`
+		Table *metrics.Table `json:"table"`
+	} `json:"results"`
+}
+
+// escape protects cell text inside a markdown table row.
+func escape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}
+
+// writeMarkdown renders one table as a markdown section.
+func writeMarkdown(w io.Writer, t *metrics.Table) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	header := make([]string, len(t.Columns))
+	rule := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = escape(c)
+		rule[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n| %s |\n",
+		strings.Join(header, " | "), strings.Join(rule, " | ")); err != nil {
+		return err
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		cells := make([]string, len(t.Columns))
+		for c := range t.Columns {
+			cells[c] = escape(t.Cell(r, c))
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes() {
+		if _, err := fmt.Fprintf(w, "\n*note: %s*\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(stdin io.Reader, w io.Writer) error {
+	var doc resultsDoc
+	dec := json.NewDecoder(stdin)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("decoding results document: %w", err)
+	}
+	if doc.Version != metrics.TableFormatVersion {
+		return fmt.Errorf("results document version %d, want %d", doc.Version, metrics.TableFormatVersion)
+	}
+	for i, r := range doc.Results {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := writeMarkdown(w, r.Table); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"onocsim/internal/metrics"
+)
+
+func docFor(t *testing.T, tb *metrics.Table) string {
+	t.Helper()
+	data, err := json.Marshal(map[string]interface{}{
+		"version": metrics.TableFormatVersion,
+		"results": []map[string]interface{}{{"id": "r1", "table": tb}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunRendersMarkdown(t *testing.T) {
+	tb := metrics.NewTable("R1 — demo", "kernel", "err")
+	tb.AddCells(metrics.String("fft"), metrics.Percent(0.018))
+	tb.AddCells(metrics.String("has|pipe"), metrics.Percent(0.5))
+	tb.Note("a note")
+	var out bytes.Buffer
+	if err := run(strings.NewReader(docFor(t, tb)), &out); err != nil {
+		t.Fatal(err)
+	}
+	md := out.String()
+	for _, want := range []string{
+		"### R1 — demo",
+		"| kernel | err |",
+		"| --- | --- |",
+		"| fft | 1.8% |",
+		"| has\\|pipe | 50.0% |",
+		"*note: a note*",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(strings.NewReader("not json"), &bytes.Buffer{}); err == nil {
+		t.Error("malformed input accepted")
+	}
+	if err := run(strings.NewReader(`{"version":99,"results":[]}`), &bytes.Buffer{}); err == nil {
+		t.Error("wrong version accepted")
+	}
+}

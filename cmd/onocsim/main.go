@@ -14,7 +14,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -97,121 +96,61 @@ func run(cfgPath, network, mode, format, faults string, dumpConfig bool, shards 
 		return err
 	}
 
+	// Both modes build one typed table; ascii and json are two renderings of
+	// it, so the JSON carries the same values (with kinds and units) that the
+	// terminal shows.
+	var t *metrics.Table
 	switch mode {
 	case "exec":
 		res, err := onocsim.RunExecutionDriven(cfg, kind)
 		if err != nil {
 			return err
 		}
-		if format == "json" {
-			return writeJSON(execSummary{
-				Workload:    cfg.Workload.Kernel,
-				Network:     string(kind),
-				Cores:       cfg.System.Cores,
-				Makespan:    int64(res.Makespan),
-				MeanLatency: res.MeanLatency,
-				Messages:    res.Messages,
-				Cycles:      int64(res.Cycles),
-				StaticMW:    res.Power.StaticMW,
-				DynamicMW:   res.Power.DynamicMW,
-				FaultEvents: res.Faults.TokenLosses + res.Faults.DriftedSends + res.Faults.DeratedSends + res.Faults.Rerouted,
-			})
-		}
-		t := metrics.NewTable(fmt.Sprintf("execution-driven run — %s, %s, %d cores",
+		t = metrics.NewTable(fmt.Sprintf("execution-driven run — %s, %s, %d cores",
 			cfg.Workload.Kernel, kind, cfg.System.Cores), "metric", "value")
-		t.AddRow("makespan (cycles)", fmt.Sprintf("%d", res.Makespan))
-		t.AddRow("mean msg latency (cycles)", fmt.Sprintf("%.2f", res.MeanLatency))
-		t.AddRow("network messages", fmt.Sprintf("%d", res.Messages))
-		t.AddRow("simulated cycles", fmt.Sprintf("%d", res.Cycles))
-		t.AddRow("mean latency by class", fmt.Sprintf("req %.1f / resp %.1f / wb %.1f",
+		t.AddCells(metrics.String("makespan (cycles)"), metrics.Int(int64(res.Makespan), "cycles"))
+		t.AddCells(metrics.String("mean msg latency (cycles)"), metrics.Float(res.MeanLatency, 2, "cycles"))
+		t.AddCells(metrics.String("network messages"), metrics.Int(int64(res.Messages), "messages"))
+		t.AddCells(metrics.String("simulated cycles"), metrics.Int(int64(res.Cycles), "cycles"))
+		t.AddCells(metrics.String("mean latency by class"), metrics.Stringf("req %.1f / resp %.1f / wb %.1f",
 			res.ClassLatency[0], res.ClassLatency[1], res.ClassLatency[2]))
-		t.AddRow("host wall time", res.WallTime.String())
-		t.AddRow("network power (mW)", fmt.Sprintf("%.1f static + %.2f dynamic", res.Power.StaticMW, res.Power.DynamicMW))
+		t.AddCells(metrics.String("host wall time"), metrics.DurationText(res.WallTime))
+		t.AddCells(metrics.String("network power (mW)"), metrics.Stringf("%.1f static + %.2f dynamic",
+			res.Power.StaticMW, res.Power.DynamicMW))
 		if cfg.Faults.Enabled() {
-			t.AddRow("fault events", fmt.Sprintf("%d token losses / %d drifted / %d derated / %d rerouted",
+			t.AddCells(metrics.String("fault events"), metrics.Stringf("%d token losses / %d drifted / %d derated / %d rerouted",
 				res.Faults.TokenLosses, res.Faults.DriftedSends, res.Faults.DeratedSends, res.Faults.Rerouted))
 		}
-		return t.WriteASCII(os.Stdout)
 
 	case "study":
 		study, err := onocsim.RunStudy(cfg, kind)
 		if err != nil {
 			return err
 		}
-		if format == "json" {
-			return writeJSON(studySummary{
-				Workload:      study.Workload,
-				Network:       string(kind),
-				Cores:         cfg.System.Cores,
-				TruthMakespan: int64(study.Truth.Makespan),
-				Naive:         methodSummary{int64(study.Naive.Makespan), study.NaiveAcc.MakespanErr},
-				SCTM:          methodSummary{int64(study.SCTM.Final.Makespan), study.SCTMAcc.MakespanErr},
-				Coupled:       methodSummary{int64(study.Coupled.Makespan), study.CoupAcc.MakespanErr},
-				SCTMRounds:    len(study.SCTM.Iterations),
-				SCTMConverged: study.SCTM.Converged,
-				TraceEvents:   study.Trace.NumEvents(),
-			})
-		}
-		t := metrics.NewTable(fmt.Sprintf("methodology study — %s on %s, %d cores",
+		t = metrics.NewTable(fmt.Sprintf("methodology study — %s on %s, %d cores",
 			study.Workload, kind, cfg.System.Cores),
 			"method", "makespan", "err vs truth", "mean lat", "host time")
-		t.AddRow("execution-driven (truth)", fmt.Sprintf("%d", study.Truth.Makespan), "—",
-			fmt.Sprintf("%.1f", study.Truth.MeanLatency), study.Truth.WallTime.String())
-		t.AddRow("naive trace replay", fmt.Sprintf("%d", study.Naive.Makespan),
-			fmt.Sprintf("%.1f%%", study.NaiveAcc.MakespanErr*100),
-			fmt.Sprintf("%.1f", study.Naive.MeanLatency), study.NaiveWall.String())
-		t.AddRow("self-correction trace model", fmt.Sprintf("%d", study.SCTM.Final.Makespan),
-			fmt.Sprintf("%.1f%%", study.SCTMAcc.MakespanErr*100),
-			fmt.Sprintf("%.1f", study.SCTM.Final.MeanLatency), study.SCTMWall.String())
-		t.AddRow("coupled replay (reference)", fmt.Sprintf("%d", study.Coupled.Makespan),
-			fmt.Sprintf("%.1f%%", study.CoupAcc.MakespanErr*100),
-			fmt.Sprintf("%.1f", study.Coupled.MeanLatency), study.CoupledWall.String())
+		t.AddCells(metrics.String("execution-driven (truth)"), metrics.Int(int64(study.Truth.Makespan), "cycles"),
+			metrics.String("—"),
+			metrics.Float(study.Truth.MeanLatency, 1, "cycles"), metrics.DurationText(study.Truth.WallTime))
+		t.AddCells(metrics.String("naive trace replay"), metrics.Int(int64(study.Naive.Makespan), "cycles"),
+			metrics.Percent(study.NaiveAcc.MakespanErr),
+			metrics.Float(study.Naive.MeanLatency, 1, "cycles"), metrics.DurationText(study.NaiveWall))
+		t.AddCells(metrics.String("self-correction trace model"), metrics.Int(int64(study.SCTM.Final.Makespan), "cycles"),
+			metrics.Percent(study.SCTMAcc.MakespanErr),
+			metrics.Float(study.SCTM.Final.MeanLatency, 1, "cycles"), metrics.DurationText(study.SCTMWall))
+		t.AddCells(metrics.String("coupled replay (reference)"), metrics.Int(int64(study.Coupled.Makespan), "cycles"),
+			metrics.Percent(study.CoupAcc.MakespanErr),
+			metrics.Float(study.Coupled.MeanLatency, 1, "cycles"), metrics.DurationText(study.CoupledWall))
 		t.Note("trace: %d events captured on the %s fabric in %s",
 			study.Trace.NumEvents(), config.NetIdeal, study.CaptureWall)
 		t.Note("self-correction: %d rounds, converged=%v", len(study.SCTM.Iterations), study.SCTM.Converged)
-		return t.WriteASCII(os.Stdout)
 
 	default:
 		return fmt.Errorf("unknown mode %q (want exec or study)", mode)
 	}
-}
-
-// execSummary is the machine-readable form of an execution-driven run.
-type execSummary struct {
-	Workload    string  `json:"workload"`
-	Network     string  `json:"network"`
-	Cores       int     `json:"cores"`
-	Makespan    int64   `json:"makespan_cycles"`
-	MeanLatency float64 `json:"mean_latency_cycles"`
-	Messages    uint64  `json:"messages"`
-	Cycles      int64   `json:"simulated_cycles"`
-	StaticMW    float64 `json:"static_mw"`
-	DynamicMW   float64 `json:"dynamic_mw"`
-	FaultEvents uint64  `json:"fault_events"`
-}
-
-// methodSummary is one replay methodology's estimate and error.
-type methodSummary struct {
-	Makespan int64   `json:"makespan_cycles"`
-	Error    float64 `json:"makespan_error"`
-}
-
-// studySummary is the machine-readable form of a methodology study.
-type studySummary struct {
-	Workload      string        `json:"workload"`
-	Network       string        `json:"network"`
-	Cores         int           `json:"cores"`
-	TruthMakespan int64         `json:"truth_makespan_cycles"`
-	Naive         methodSummary `json:"naive"`
-	SCTM          methodSummary `json:"sctm"`
-	Coupled       methodSummary `json:"coupled"`
-	SCTMRounds    int           `json:"sctm_rounds"`
-	SCTMConverged bool          `json:"sctm_converged"`
-	TraceEvents   int           `json:"trace_events"`
-}
-
-func writeJSON(v interface{}) error {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
+	if format == "json" {
+		return t.WriteJSON(os.Stdout)
+	}
+	return t.WriteASCII(os.Stdout)
 }

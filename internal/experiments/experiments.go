@@ -1,7 +1,9 @@
 // Package experiments regenerates every table and figure of the
-// reconstructed evaluation (R1–R8, see DESIGN.md §3). Each experiment is a
-// function returning a metrics.Table; cmd/expreport renders them to the
-// terminal or CSV, and the root bench_test.go wraps each in a testing.B
+// reconstructed evaluation (R1–R18, see DESIGN.md §3). Each experiment is
+// declared as a Descriptor in the registry (registry.go) — identity, cost
+// class, the shared simulations it consumes, and a Run function returning a
+// typed metrics.Table; cmd/expreport renders them as ASCII, CSV or
+// versioned JSON, and the root bench_test.go wraps each in a testing.B
 // benchmark so `go test -bench` reproduces the whole evaluation.
 package experiments
 
@@ -30,8 +32,9 @@ type Options struct {
 	// (config, fabric, operation) triple — e.g. the optical ground truth
 	// of a kernel, needed by R1, R3, R5, R6, R8… — is computed once and
 	// shared. nil runs every simulation afresh (every call site is
-	// nil-safe). Tables are byte-identical either way, except that cached
-	// wall-clock cells report the one computation that actually ran.
+	// nil-safe), except under All, which creates a session for the run.
+	// Tables are byte-identical either way, except that cached wall-clock
+	// cells report the one computation that actually ran.
 	Session *onocsim.Session
 	// Parallel fans independent experiments out concurrently (bounded by
 	// the library's process-wide simulation-slot semaphore), deduplicating
@@ -48,6 +51,13 @@ type Options struct {
 	// experiment config. The zero value leaves all experiments fault-free.
 	// R18 ignores it and sweeps the presets itself.
 	Faults config.Faults
+	// Progress observes the run: experiment start/finish events from the
+	// registry dispatch, and — when it is also installed on the Session
+	// (All does this for sessions it creates; other callers use
+	// Session.SetProgress) — simulation computed/cache-hit events. nil
+	// disables observation. Implementations must be safe for concurrent
+	// use under Parallel.
+	Progress onocsim.Progress
 }
 
 func (o Options) cores() int {
@@ -83,11 +93,12 @@ func kernelConfig(o Options, kernel string) onocsim.Config {
 	return cfg
 }
 
-// pct renders a fraction as a percentage string.
+// pct renders a fraction as a percentage string (for notes; table cells use
+// metrics.Percent).
 func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
 
-// ms renders a duration in milliseconds.
-func ms(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000) }
+// cycles makes an integer cell measured in clock cycles.
+func cycles(v onocsim.Tick) metrics.Cell { return metrics.Int(int64(v), "cycles") }
 
 // studySet runs the full methodology study for each kernel once and caches
 // the results so that R1, R2 and R3 share work.
@@ -154,12 +165,13 @@ func r1FromSet(set *studySet) (*metrics.Table, error) {
 	var naiveErrs, sctmErrs []float64
 	for _, k := range set.kernels {
 		st := set.studies[k]
-		t.AddRow(k,
-			fmt.Sprintf("%d", st.Truth.Makespan),
-			fmt.Sprintf("%d", st.Naive.Makespan), pct(st.NaiveAcc.MakespanErr),
-			fmt.Sprintf("%d", st.SCTM.Final.Makespan), pct(st.SCTMAcc.MakespanErr),
-			fmt.Sprintf("%d", st.Coupled.Makespan), pct(st.CoupAcc.MakespanErr),
-			fmt.Sprintf("%d", st.Trace.NumEvents()),
+		t.AddCells(
+			metrics.String(k),
+			cycles(st.Truth.Makespan),
+			cycles(st.Naive.Makespan), metrics.Percent(st.NaiveAcc.MakespanErr),
+			cycles(st.SCTM.Final.Makespan), metrics.Percent(st.SCTMAcc.MakespanErr),
+			cycles(st.Coupled.Makespan), metrics.Percent(st.CoupAcc.MakespanErr),
+			metrics.Int(int64(st.Trace.NumEvents()), "events"),
 		)
 		naiveErrs = append(naiveErrs, st.NaiveAcc.MakespanErr)
 		sctmErrs = append(sctmErrs, st.SCTMAcc.MakespanErr)
@@ -188,11 +200,13 @@ func r2FromSet(set *studySet) (*metrics.Table, error) {
 		st := set.studies[k]
 		execW := st.Truth.WallTime
 		sctmW := st.SCTMWall
-		t.AddRow(k,
-			ms(execW), ms(st.CaptureWall), ms(st.NaiveWall), ms(sctmW),
-			fmt.Sprintf("%d", len(st.SCTM.Iterations)),
-			fmt.Sprintf("%.2fx", ratio(execW, sctmW)),
-			fmt.Sprintf("%.1fx", ratio(sctmW, st.NaiveWall)),
+		t.AddCells(
+			metrics.String(k),
+			metrics.Duration(execW), metrics.Duration(st.CaptureWall),
+			metrics.Duration(st.NaiveWall), metrics.Duration(sctmW),
+			metrics.Int(int64(len(st.SCTM.Iterations)), "rounds"),
+			metrics.Ratio(ratio(execW, sctmW), 2),
+			metrics.Ratio(ratio(sctmW, st.NaiveWall), 1),
 		)
 	}
 	t.Note("the paper claims the method does 'not substantially extend the total simulation time' vs trace-driven")
@@ -237,11 +251,12 @@ func R3Convergence(o Options) (*metrics.Table, error) {
 			return nil, err
 		}
 		for _, it := range res.Iterations {
-			t.AddRow(k,
-				fmt.Sprintf("%d", it.Round),
-				fmt.Sprintf("%d", it.Delta),
-				fmt.Sprintf("%d", it.Makespan),
-				pct(metrics.RelErr(float64(it.Makespan), float64(truth.Makespan))),
+			t.AddCells(
+				metrics.String(k),
+				metrics.Int(int64(it.Round), "rounds"),
+				cycles(it.Delta),
+				cycles(it.Makespan),
+				metrics.Percent(metrics.RelErr(float64(it.Makespan), float64(truth.Makespan))),
 			)
 		}
 	}
@@ -283,13 +298,14 @@ func R4LoadLatency(o Options) (*metrics.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				t.AddRow(pat,
-					fmt.Sprintf("%.2f", rate),
-					string(kind),
-					fmt.Sprintf("%.1f", res.MeanLatency),
-					fmt.Sprintf("%.0f", res.P99Latency),
-					fmt.Sprintf("%.3f", res.Throughput),
-					fmt.Sprintf("%v", res.Saturated),
+				t.AddCells(
+					metrics.String(pat),
+					metrics.Float(rate, 2, "flits/node/cyc"),
+					metrics.String(string(kind)),
+					metrics.Float(res.MeanLatency, 1, "cycles"),
+					metrics.Float(res.P99Latency, 0, "cycles"),
+					metrics.Float(res.Throughput, 3, "flits/node/cyc"),
+					metrics.Bool(res.Saturated),
 				)
 			}
 		}
@@ -317,12 +333,13 @@ func R5CaseStudy(o Options) (*metrics.Table, error) {
 		}
 		sp := float64(e.Makespan) / float64(op.Makespan)
 		speedups = append(speedups, sp)
-		t.AddRow(k,
-			fmt.Sprintf("%d", e.Makespan),
-			fmt.Sprintf("%d", op.Makespan),
-			fmt.Sprintf("%.2fx", sp),
-			fmt.Sprintf("%.1f", e.MeanLatency),
-			fmt.Sprintf("%.1f", op.MeanLatency),
+		t.AddCells(
+			metrics.String(k),
+			cycles(e.Makespan),
+			cycles(op.Makespan),
+			metrics.Ratio(sp, 2),
+			metrics.Float(e.MeanLatency, 1, "cycles"),
+			metrics.Float(op.MeanLatency, 1, "cycles"),
 		)
 	}
 	t.Note("geometric-mean optical speedup: %.2fx", metrics.GeoMean(speedups))
@@ -342,11 +359,12 @@ func R6Power(o Options) (*metrics.Table, error) {
 				return nil, err
 			}
 			p := res.Power
-			t.AddRow(k, string(kind),
-				fmt.Sprintf("%.1f", p.StaticMW),
-				fmt.Sprintf("%.2f", p.DynamicMW),
-				fmt.Sprintf("%.1f", p.TotalMW()),
-				topComponents(p.Breakdown, 2),
+			t.AddCells(
+				metrics.String(k), metrics.String(string(kind)),
+				metrics.Float(p.StaticMW, 1, "mW"),
+				metrics.Float(p.DynamicMW, 2, "mW"),
+				metrics.Float(p.TotalMW(), 1, "mW"),
+				metrics.String(topComponents(p.Breakdown, 2)),
 			)
 		}
 	}
@@ -372,14 +390,14 @@ func R7Scaling(o Options) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(
-			fmt.Sprintf("%d", n),
-			fmt.Sprintf("%d", st.Truth.Makespan),
-			pct(st.SCTMAcc.MakespanErr),
-			pct(st.NaiveAcc.MakespanErr),
-			ms(st.Truth.WallTime),
-			ms(st.SCTMWall),
-			fmt.Sprintf("%d", st.Trace.NumEvents()),
+		t.AddCells(
+			metrics.Int(int64(n), "cores"),
+			cycles(st.Truth.Makespan),
+			metrics.Percent(st.SCTMAcc.MakespanErr),
+			metrics.Percent(st.NaiveAcc.MakespanErr),
+			metrics.Duration(st.Truth.WallTime),
+			metrics.Duration(st.SCTMWall),
+			metrics.Int(int64(st.Trace.NumEvents()), "events"),
 		)
 	}
 	return t, nil
@@ -423,132 +441,9 @@ func R8Ablation(o Options) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(k, pct(full), pct(noSync), pct(noCausal))
+		t.AddCells(metrics.String(k), metrics.Percent(full), metrics.Percent(noSync), metrics.Percent(noCausal))
 	}
 	return t, nil
-}
-
-// All runs every experiment and returns the tables in canonical order
-// (Names() order). Sequentially by default; with o.Parallel the experiments
-// fan out concurrently — actual simulation concurrency stays bounded by the
-// library's simulation-slot semaphore, and shared (config, fabric, op) runs
-// deduplicate through o.Session (one is created for the run if the caller
-// supplied none, since parallel experiments without deduplication would
-// race to redo identical work).
-func All(o Options) ([]*metrics.Table, error) {
-	if o.Parallel {
-		return allParallel(o)
-	}
-	var out []*metrics.Table
-	t1, t2, err := R1R2(o)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, t1, t2)
-	for _, fn := range []func(Options) (*metrics.Table, error){
-		R3Convergence, R4LoadLatency, R5CaseStudy, R6Power, R7Scaling, R8Ablation,
-		R9Architectures, R10CaptureFabric, R11Damping, R12Hybrid, R13Photonics, R14WhatIf, R15League, R16Seeds, R17Memory, R18Faults,
-	} {
-		t, err := fn(o)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, t)
-	}
-	return out, nil
-}
-
-// allParallel is the parallel experiment scheduler: every experiment runs
-// on its own goroutine and tables are collected in canonical order. The
-// per-experiment goroutines are cheap coordinators — all heavy work happens
-// in the leaf simulation operations, which both bound concurrency (each
-// holds one process-wide simulation slot for its timed region) and
-// deduplicate (concurrent requests for one result single-flight through the
-// session). The first error wins, in canonical experiment order so failures
-// are deterministic.
-func allParallel(o Options) ([]*metrics.Table, error) {
-	if o.Session == nil {
-		o.Session = onocsim.NewSession("")
-	}
-	names := Names()
-	tables := make([]*metrics.Table, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		i, name := i, name
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			tables[i], errs[i] = ByName(name, o)
-		}()
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", names[i], err)
-		}
-	}
-	return tables, nil
-}
-
-// Names lists experiment identifiers accepted by cmd/expreport. R1–R8
-// reconstruct the paper's evaluation; R9–R11 are extensions.
-func Names() []string {
-	return []string{"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15", "r16", "r17", "r18"}
-}
-
-// Known reports whether name identifies an experiment runnable by ByName.
-func Known(name string) bool {
-	for _, n := range Names() {
-		if n == name {
-			return true
-		}
-	}
-	return false
-}
-
-// ByName runs one experiment by its identifier.
-func ByName(name string, o Options) (*metrics.Table, error) {
-	switch name {
-	case "r1":
-		return R1Accuracy(o)
-	case "r2":
-		return R2SimTime(o)
-	case "r3":
-		return R3Convergence(o)
-	case "r4":
-		return R4LoadLatency(o)
-	case "r5":
-		return R5CaseStudy(o)
-	case "r6":
-		return R6Power(o)
-	case "r7":
-		return R7Scaling(o)
-	case "r8":
-		return R8Ablation(o)
-	case "r9":
-		return R9Architectures(o)
-	case "r10":
-		return R10CaptureFabric(o)
-	case "r11":
-		return R11Damping(o)
-	case "r12":
-		return R12Hybrid(o)
-	case "r13":
-		return R13Photonics(o)
-	case "r14":
-		return R14WhatIf(o)
-	case "r15":
-		return R15League(o)
-	case "r16":
-		return R16Seeds(o)
-	case "r17":
-		return R17Memory(o)
-	case "r18":
-		return R18Faults(o)
-	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
-	}
 }
 
 func mean(xs []float64) float64 {

@@ -34,12 +34,13 @@ func R9Architectures(o Options) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(k,
-			fmt.Sprintf("%d", mwsr.Makespan),
-			fmt.Sprintf("%d", swmr.Makespan),
-			fmt.Sprintf("%.2fx", float64(mwsr.Makespan)/float64(swmr.Makespan)),
-			fmt.Sprintf("%.0f", mwsr.Power.TotalMW()),
-			fmt.Sprintf("%.0f", swmr.Power.TotalMW()),
+		t.AddCells(
+			metrics.String(k),
+			cycles(mwsr.Makespan),
+			cycles(swmr.Makespan),
+			metrics.Ratio(float64(mwsr.Makespan)/float64(swmr.Makespan), 2),
+			metrics.Float(mwsr.Power.TotalMW(), 0, "mW"),
+			metrics.Float(swmr.Power.TotalMW(), 0, "mW"),
 		)
 	}
 	t.Note("SWMR removes token-arbitration latency but pays a quadratic receiver-ring tuning budget")
@@ -63,7 +64,7 @@ func R10CaptureFabric(o Options) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := []string{k}
+		row := []metrics.Cell{metrics.String(k)}
 		var naiveIdeal float64
 		for i, capOn := range []onocsim.NetworkKind{onocsim.IdealNet, onocsim.Electrical, onocsim.Optical} {
 			tr, _, err := o.Session.CaptureTrace(cfg, capOn)
@@ -74,7 +75,7 @@ func R10CaptureFabric(o Options) (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, pct(metrics.RelErr(float64(res.Final.Makespan), float64(truth.Makespan))))
+			row = append(row, metrics.Percent(metrics.RelErr(float64(res.Final.Makespan), float64(truth.Makespan))))
 			if i == 0 {
 				nv, _, err := o.Session.RunNaiveReplay(cfg, tr, onocsim.Optical)
 				if err != nil {
@@ -83,8 +84,8 @@ func R10CaptureFabric(o Options) (*metrics.Table, error) {
 				naiveIdeal = metrics.RelErr(float64(nv.Makespan), float64(truth.Makespan))
 			}
 		}
-		row = append(row, pct(naiveIdeal))
-		t.AddRow(row...)
+		row = append(row, metrics.Percent(naiveIdeal))
+		t.AddCells(row...)
 	}
 	t.Note("capture=optical is self-capture: the dependency replay should then be nearly exact")
 	return t, nil
@@ -117,7 +118,7 @@ func R12Hybrid(o Options) (*metrics.Table, error) {
 		if opt.Makespan < bestMk {
 			best, bestMk = "optical", opt.Makespan
 		}
-		row := []string{k, fmt.Sprintf("%d", mesh.Makespan), fmt.Sprintf("%d", opt.Makespan)}
+		row := []metrics.Cell{metrics.String(k), cycles(mesh.Makespan), cycles(opt.Makespan)}
 		for _, th := range []int{2, 4, 6} {
 			c := cfg
 			c.Hybrid.Threshold = th
@@ -125,13 +126,13 @@ func R12Hybrid(o Options) (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%d", h.Makespan))
+			row = append(row, cycles(h.Makespan))
 			if h.Makespan < bestMk {
 				best, bestMk = fmt.Sprintf("hybrid t=%d", th), h.Makespan
 			}
 		}
-		row = append(row, best)
-		t.AddRow(row...)
+		row = append(row, metrics.String(best))
+		t.AddCells(row...)
 	}
 	t.Note("hybrid routes hops < threshold over the mesh and the rest over the crossbar")
 	return t, nil
@@ -162,12 +163,12 @@ func R11Damping(o Options) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(
-			fmt.Sprintf("%.2f", d),
-			fmt.Sprintf("%d", len(res.Iterations)),
-			fmt.Sprintf("%v", res.Converged),
-			fmt.Sprintf("%d", res.Final.Makespan),
-			pct(metrics.RelErr(float64(res.Final.Makespan), float64(truth.Makespan))),
+		t.AddCells(
+			metrics.Float(d, 2, ""),
+			metrics.Int(int64(len(res.Iterations)), "rounds"),
+			metrics.Bool(res.Converged),
+			cycles(res.Final.Makespan),
+			metrics.Percent(metrics.RelErr(float64(res.Final.Makespan), float64(truth.Makespan))),
 		)
 	}
 	return t, nil

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"onocsim"
 	"onocsim/internal/config"
 	"onocsim/internal/metrics"
@@ -56,21 +54,22 @@ func R18Faults(o Options) (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			slow := "1.00x"
+			slow := metrics.Ratio(1, 2)
 			if preset == "off" {
 				baseline[fb.name] = float64(truth.Makespan)
 			} else if b := baseline[fb.name]; b > 0 {
-				slow = fmt.Sprintf("%.2fx", float64(truth.Makespan)/b)
+				slow = metrics.Ratio(float64(truth.Makespan)/b, 2)
 			}
 			fc := truth.Faults
-			t.AddRow(preset, fb.name,
-				fmt.Sprintf("%d", truth.Makespan), slow,
-				pct(metrics.RelErr(float64(nv.Makespan), float64(truth.Makespan))),
-				pct(metrics.RelErr(float64(sc.Final.Makespan), float64(truth.Makespan))),
-				fmt.Sprintf("%d", fc.TokenLosses),
-				fmt.Sprintf("%d", fc.DriftedSends),
-				fmt.Sprintf("%d", fc.DeratedSends),
-				fmt.Sprintf("%d", fc.Rerouted))
+			t.AddCells(
+				metrics.String(preset), metrics.String(fb.name),
+				cycles(truth.Makespan), slow,
+				metrics.Percent(metrics.RelErr(float64(nv.Makespan), float64(truth.Makespan))),
+				metrics.Percent(metrics.RelErr(float64(sc.Final.Makespan), float64(truth.Makespan))),
+				metrics.Int(int64(fc.TokenLosses), "events"),
+				metrics.Int(int64(fc.DriftedSends), "events"),
+				metrics.Int(int64(fc.DeratedSends), "events"),
+				metrics.Int(int64(fc.Rerouted), "events"))
 		}
 	}
 	t.Note("fault schedules are seeded: the same (seed, faults) pair replays the same outages on any shard count")

@@ -43,7 +43,7 @@ func R15League(o Options) (*metrics.Table, error) {
 		kernels = kernels[:2]
 	}
 	for _, k := range kernels {
-		row := []string{k}
+		row := []metrics.Cell{metrics.String(k)}
 		winner, best := "", int64(1)<<62
 		for _, d := range designs {
 			cfg := kernelConfig(o, k)
@@ -54,13 +54,13 @@ func R15League(o Options) (*metrics.Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: league %s/%s: %w", k, d.name, err)
 			}
-			row = append(row, fmt.Sprintf("%d", res.Makespan))
+			row = append(row, cycles(res.Makespan))
 			if int64(res.Makespan) < best {
 				best, winner = int64(res.Makespan), d.name
 			}
 		}
-		row = append(row, winner)
-		t.AddRow(row...)
+		row = append(row, metrics.String(winner))
+		t.AddCells(row...)
 	}
 	t.Note("execution-driven, identical programs and seeds on every fabric")
 	return t, nil

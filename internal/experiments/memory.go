@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"onocsim"
 	"onocsim/internal/metrics"
 	"onocsim/internal/workload"
@@ -38,10 +36,11 @@ func R17Memory(o Options) (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(k, regime,
-				fmt.Sprintf("%d", elec.Makespan),
-				fmt.Sprintf("%d", opt.Makespan),
-				fmt.Sprintf("%.2f", float64(opt.Makespan)/float64(elec.Makespan)),
+			t.AddCells(
+				metrics.String(k), metrics.String(regime),
+				cycles(elec.Makespan),
+				cycles(opt.Makespan),
+				metrics.Float(float64(opt.Makespan)/float64(elec.Makespan), 2, ""),
 			)
 		}
 	}

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"onocsim"
 	"onocsim/internal/metrics"
 	"onocsim/internal/workload"
@@ -48,10 +46,11 @@ func R16Seeds(o Options) (*metrics.Table, error) {
 			naive.Add(metrics.RelErr(float64(nv.Makespan), float64(truth.Makespan)))
 			sctm.Add(metrics.RelErr(float64(sc.Final.Makespan), float64(truth.Makespan)))
 		}
-		t.AddRow(k,
-			fmt.Sprintf("%d", len(seeds)),
-			pct(naive.Mean()), pct(naive.CI95()),
-			pct(sctm.Mean()), pct(sctm.CI95()),
+		t.AddCells(
+			metrics.String(k),
+			metrics.Int(int64(len(seeds)), "seeds"),
+			metrics.Percent(naive.Mean()), metrics.Percent(naive.CI95()),
+			metrics.Percent(sctm.Mean()), metrics.Percent(sctm.CI95()),
 		)
 	}
 	t.Note("the correction's advantage must be robust to the seed, not an artifact of one interleaving")

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"onocsim"
 	"onocsim/internal/metrics"
 	"onocsim/internal/photonics"
@@ -38,14 +36,14 @@ func R13Photonics(o Options) (*metrics.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				t.AddRow(
-					fmt.Sprintf("%d", n),
-					fmt.Sprintf("%.2f", wg),
-					fmt.Sprintf("%.3f", rl),
-					fmt.Sprintf("%.1f", b.WorstLossDB),
-					fmt.Sprintf("%.2f", b.LaserPowerMW/1000),
-					fmt.Sprintf("%.2f", b.TuningPowerMW/1000),
-					fmt.Sprintf("%d", b.TotalRings),
+				t.AddCells(
+					metrics.Int(int64(n), "nodes"),
+					metrics.DB(wg, 2),
+					metrics.DB(rl, 3),
+					metrics.DB(b.WorstLossDB, 1),
+					metrics.Float(b.LaserPowerMW/1000, 2, "W"),
+					metrics.Float(b.TuningPowerMW/1000, 2, "W"),
+					metrics.Int(int64(b.TotalRings), "rings"),
 				)
 			}
 		}
@@ -92,11 +90,12 @@ func R14WhatIf(o Options) (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(k,
-				fmt.Sprintf("%.1fx", s),
-				fmt.Sprintf("%d", pred.Final.Makespan),
-				fmt.Sprintf("%d", truth.Makespan),
-				pct(metrics.RelErr(float64(pred.Final.Makespan), float64(truth.Makespan))),
+			t.AddCells(
+				metrics.String(k),
+				metrics.Ratio(s, 1),
+				cycles(pred.Final.Makespan),
+				cycles(truth.Makespan),
+				metrics.Percent(metrics.RelErr(float64(pred.Final.Makespan), float64(truth.Makespan))),
 			)
 		}
 	}

@@ -1,19 +1,22 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 )
 
-// Table renders experiment results as aligned ASCII (for terminals and the
-// EXPERIMENTS.md log) or as CSV (for plotting). Rows are strings; numeric
-// cells should be pre-formatted by the caller so that each experiment
-// controls its own precision.
+// Table holds experiment results as rows of typed Cells and renders them
+// three ways: aligned ASCII (for terminals and the EXPERIMENTS.md log), CSV
+// (for plotting), and versioned JSON (for machine consumers — dashboards,
+// regression gates, co-simulation tooling). Each experiment builds its rows
+// with the Cell constructors so it keeps exact control of the printed
+// precision while the underlying numeric values and units stay addressable.
 type Table struct {
 	Title   string
 	Columns []string
-	rows    [][]string
+	rows    [][]Cell
 	notes   []string
 }
 
@@ -22,33 +25,58 @@ func NewTable(title string, columns ...string) *Table {
 	return &Table{Title: title, Columns: columns}
 }
 
-// AddRow appends a row. Short rows are padded with empty cells; long rows
-// panic since they indicate a bug in the experiment harness.
-func (t *Table) AddRow(cells ...string) {
+// AddCells appends a row of typed cells. Short rows are padded with empty
+// string cells; long rows panic since they indicate a bug in the experiment
+// harness.
+func (t *Table) AddCells(cells ...Cell) {
 	if len(cells) > len(t.Columns) {
-		panic(fmt.Sprintf("metrics: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+		panic(fmt.Sprintf("metrics: table %q: row has %d cells, table has %d columns",
+			t.Title, len(cells), len(t.Columns)))
 	}
-	row := make([]string, len(t.Columns))
+	row := make([]Cell, len(t.Columns))
 	copy(row, cells)
 	t.rows = append(t.rows, row)
 }
 
-// AddRowf appends a row of formatted cells: each argument is rendered with
-// %v for strings and %s for fmt.Stringer, or the caller may pass
-// pre-formatted strings.
+// AddRow appends a row of pre-formatted string cells. Short rows are padded
+// with empty cells; long rows panic since they indicate a bug in the
+// experiment harness.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]Cell, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, String(c))
+	}
+	t.AddCells(row...)
+}
+
+// AddRowf appends a row of heterogeneous values, each converted to a typed
+// cell: Cell values pass through, strings become string cells, float64
+// renders with three fractional digits, int/int64 become integer cells,
+// bool a boolean cell, time.Duration a millisecond cell, fmt.Stringer its
+// String() form, and anything else falls back to a "%v" string cell.
 func (t *Table) AddRowf(cells ...interface{}) {
-	row := make([]string, 0, len(cells))
+	row := make([]Cell, 0, len(cells))
 	for _, c := range cells {
 		switch v := c.(type) {
-		case string:
+		case Cell:
 			row = append(row, v)
+		case string:
+			row = append(row, String(v))
 		case float64:
-			row = append(row, fmt.Sprintf("%.3f", v))
+			row = append(row, Float(v, 3, ""))
+		case int:
+			row = append(row, Int(int64(v), ""))
+		case int64:
+			row = append(row, Int(v, ""))
+		case bool:
+			row = append(row, Bool(v))
+		case fmt.Stringer:
+			row = append(row, String(v.String()))
 		default:
-			row = append(row, fmt.Sprintf("%v", v))
+			row = append(row, Stringf("%v", v))
 		}
 	}
-	t.AddRow(row...)
+	t.AddCells(row...)
 }
 
 // Note attaches a footnote rendered under the table.
@@ -59,19 +87,36 @@ func (t *Table) Note(format string, args ...interface{}) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// Cell returns the cell at (row, col); it panics on out-of-range indices.
-func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+// Cell returns the rendered ASCII form of the cell at (row, col); it panics
+// on out-of-range indices. Use At for the typed cell.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col].Render() }
+
+// At returns the typed cell at (row, col); it panics on out-of-range
+// indices.
+func (t *Table) At(row, col int) Cell { return t.rows[row][col] }
+
+// SetCell replaces the cell at (row, col); it panics on out-of-range
+// indices. Renderers that must suppress nondeterministic cells (golden
+// tests masking wall clocks) rewrite them through this.
+func (t *Table) SetCell(row, col int, c Cell) { t.rows[row][col] = c }
+
+// Notes returns the attached footnotes.
+func (t *Table) Notes() []string { return append([]string(nil), t.notes...) }
 
 // WriteASCII renders the table with aligned columns.
 func (t *Table) WriteASCII(w io.Writer) error {
+	rendered := make([][]string, len(t.rows))
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
-	for _, row := range t.rows {
+	for r, row := range t.rows {
+		rendered[r] = make([]string, len(row))
 		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
+			s := cell.Render()
+			rendered[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
 			}
 		}
 	}
@@ -105,7 +150,7 @@ func (t *Table) WriteASCII(w io.Writer) error {
 	if err := writeRow(sep); err != nil {
 		return err
 	}
-	for _, row := range t.rows {
+	for _, row := range rendered {
 		if err := writeRow(row); err != nil {
 			return err
 		}
@@ -119,7 +164,7 @@ func (t *Table) WriteASCII(w io.Writer) error {
 }
 
 // WriteCSV renders the table as RFC-4180-ish CSV (cells containing commas or
-// quotes are quoted).
+// quotes are quoted). Cells render exactly as in the ASCII form.
 func (t *Table) WriteCSV(w io.Writer) error {
 	esc := func(s string) string {
 		if strings.ContainsAny(s, ",\"\n") {
@@ -139,11 +184,73 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, row := range t.rows {
-		if err := writeRow(row); err != nil {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = c.Render()
+		}
+		if err := writeRow(cells); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// TableFormatVersion guards the JSON table format against schema drift:
+// decoders reject documents written for another version instead of silently
+// zero-filling. Bump it whenever Cell or the table envelope changes shape.
+const TableFormatVersion = 1
+
+// tableJSON is the versioned wire form of a Table. It carries the typed
+// cells verbatim, so a decoded table renders byte-identically and its
+// numeric values and units survive the round trip (the simcache disk layer
+// persists results through exactly this codec path).
+type tableJSON struct {
+	Version int      `json:"version"`
+	Title   string   `json:"title"`
+	Columns []string `json:"columns"`
+	Rows    [][]Cell `json:"rows"`
+	Notes   []string `json:"notes,omitempty"`
+}
+
+// MarshalJSON encodes the table in the versioned format.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		Version: TableFormatVersion,
+		Title:   t.Title,
+		Columns: t.Columns,
+		Rows:    t.rows,
+		Notes:   t.notes,
+	})
+}
+
+// UnmarshalJSON decodes a table written by MarshalJSON, rejecting documents
+// of any other format version and rows that do not match the column count.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var doc tableJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.Version != TableFormatVersion {
+		return fmt.Errorf("metrics: table format version %d, want %d", doc.Version, TableFormatVersion)
+	}
+	for i, row := range doc.Rows {
+		if len(row) != len(doc.Columns) {
+			return fmt.Errorf("metrics: table %q: row %d has %d cells, table has %d columns",
+				doc.Title, i, len(row), len(doc.Columns))
+		}
+	}
+	t.Title = doc.Title
+	t.Columns = doc.Columns
+	t.rows = doc.Rows
+	t.notes = doc.Notes
+	return nil
+}
+
+// WriteJSON renders the table as indented versioned JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
 }
 
 // String renders the ASCII form; it satisfies fmt.Stringer for logging.

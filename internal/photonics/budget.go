@@ -117,7 +117,7 @@ type Budget struct {
 	// lightpath whose loss still fits the shrunken margin. Hops beyond it
 	// are not dark — the fabric derates them — but a system architect
 	// would call them infeasible at full rate.
-	LaserDroopDB   float64
+	LaserDroopDB    float64
 	MaxFeasibleHops int
 }
 

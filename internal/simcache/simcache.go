@@ -97,6 +97,21 @@ type Stats struct {
 	DiskErrors uint64
 }
 
+// Outcome names how a cache request was resolved, for observers.
+type Outcome string
+
+const (
+	// OutcomeComputed: the request ran the computation.
+	OutcomeComputed Outcome = "computed"
+	// OutcomeHit: the request was served from a settled in-memory entry.
+	OutcomeHit Outcome = "hit"
+	// OutcomeWait: the request blocked on a concurrent in-flight
+	// computation and shared its result.
+	OutcomeWait Outcome = "wait"
+	// OutcomeDiskHit: the request was served by the disk layer.
+	OutcomeDiskHit Outcome = "disk-hit"
+)
+
 // Cache is a concurrent memoization table for simulation results.
 // The zero value is not usable; construct with New.
 type Cache struct {
@@ -104,6 +119,27 @@ type Cache struct {
 	entries map[Key]*entry
 	stats   Stats
 	dir     string
+	notify  func(Key, Outcome)
+}
+
+// SetNotify installs an observer called once per resolved request with how
+// it was resolved. The observer runs on the requesting goroutine, outside
+// the cache lock, and must be safe for concurrent use. A nil fn removes the
+// observer.
+func (c *Cache) SetNotify(fn func(Key, Outcome)) {
+	c.mu.Lock()
+	c.notify = fn
+	c.mu.Unlock()
+}
+
+// event delivers an outcome to the observer, if one is installed.
+func (c *Cache) event(key Key, o Outcome) {
+	c.mu.Lock()
+	fn := c.notify
+	c.mu.Unlock()
+	if fn != nil {
+		fn(key, o)
+	}
 }
 
 // New returns an empty cache. dir, when non-empty, enables the disk layer:
@@ -129,13 +165,16 @@ func (c *Cache) Stats() Stats {
 func (c *Cache) Do(key Key, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
+		outcome := OutcomeWait
 		select {
 		case <-e.done:
 			c.stats.Hits++
+			outcome = OutcomeHit
 		default:
 			c.stats.Waits++
 		}
 		c.mu.Unlock()
+		c.event(key, outcome)
 		<-e.done
 		return e.val, e.err
 	}
@@ -241,6 +280,7 @@ func DoValue[T any](c *Cache, key Key, compute func() (T, error)) (T, error) {
 						c.mu.Lock()
 						c.stats.DiskHits++
 						c.mu.Unlock()
+						c.event(key, OutcomeDiskHit)
 						return out, nil
 					}
 				}
@@ -250,6 +290,7 @@ func DoValue[T any](c *Cache, key Key, compute func() (T, error)) (T, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.event(key, OutcomeComputed)
 		if c.dir != "" {
 			if raw, jerr := json.Marshal(out); jerr == nil {
 				data, _ := json.Marshal(diskValue{Version: valueFormatVersion, Value: raw})
@@ -290,6 +331,7 @@ func (c *Cache) DoTrace(key Key, compute func() (*trace.Trace, time.Duration, er
 				c.mu.Lock()
 				c.stats.DiskHits++
 				c.mu.Unlock()
+				c.event(key, OutcomeDiskHit)
 				return tracePair{tr: tr, wall: time.Since(start)}, nil
 			}
 		}
@@ -297,6 +339,7 @@ func (c *Cache) DoTrace(key Key, compute func() (*trace.Trace, time.Duration, er
 		if err != nil {
 			return nil, err
 		}
+		c.event(key, OutcomeComputed)
 		if c.dir != "" {
 			c.writeAtomic(c.tracePath(key), func(tmp string) error {
 				return trace.SaveFile(tmp, tr)

@@ -51,6 +51,37 @@ func (s *Session) CacheStats() simcache.Stats {
 	return s.cache.Stats()
 }
 
+// SetProgress installs an observer notified of every simulation this session
+// resolves: computed fresh, deduplicated against an in-flight computation,
+// or served from the memory or disk cache. The observer runs on the
+// requesting goroutine and must be safe for concurrent use; nil removes it.
+// No-op on a nil session.
+func (s *Session) SetProgress(p Progress) {
+	if s == nil {
+		return
+	}
+	if p == nil {
+		s.cache.SetNotify(nil)
+		return
+	}
+	s.cache.SetNotify(func(key simcache.Key, outcome simcache.Outcome) {
+		ev := ProgressEvent{Sim: key.String(), Op: string(key.Op)}
+		switch outcome {
+		case simcache.OutcomeComputed:
+			ev.Kind = ProgressSimComputed
+		case simcache.OutcomeHit:
+			ev.Kind = ProgressSimCacheHit
+		case simcache.OutcomeWait:
+			ev.Kind = ProgressSimWait
+		case simcache.OutcomeDiskHit:
+			ev.Kind = ProgressSimDiskHit
+		default:
+			return
+		}
+		p.Event(ev)
+	})
+}
+
 // normalizeFor strips the config sections an operation cannot observe
 // before fingerprinting, so parameter sweeps dedup everything the swept
 // parameter does not touch: an optical-loss sweep reuses one ideal-fabric
