@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"time"
 
+	"onocsim/internal/analytic"
 	"onocsim/internal/config"
 	"onocsim/internal/core"
 	"onocsim/internal/cpu"
@@ -57,6 +58,8 @@ type (
 	CorrectionResult = core.CorrectionResult
 	// Accuracy is a replay-vs-ground-truth comparison.
 	Accuracy = core.Accuracy
+	// AnalyticEstimate is a closed-form contention-aware latency estimate.
+	AnalyticEstimate = analytic.Result
 	// Tick is simulated time in cycles.
 	Tick = sim.Tick
 	// Table renders experiment results as ASCII or CSV.
@@ -284,7 +287,11 @@ func RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, ti
 // RunSelfCorrection runs the Self-Correction Trace Model against a fresh
 // fabric per iteration. With cfg.Parallelism.Shards > 1 every round's replay
 // runs on the sharded conservative-lookahead engine; the trajectory and
-// result are byte-identical for any shard count.
+// result are byte-identical for any shard count. With cfg.SCTM.Seed =
+// "analytic" the round-0 latencies come from the closed-form contention
+// estimate instead of the zero-load probe, typically saving replay rounds
+// on contended fabrics; when the estimator declines, the loop falls back to
+// zero-load seeding.
 func RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
 	factory, err := NetworkFactory(cfg, kind)
 	if err != nil {
@@ -293,7 +300,21 @@ func RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResul
 	acquireSimSlot()
 	defer releaseSimSlot()
 	start := time.Now()
-	res, err := core.SelfCorrectSharded(factory, tr, cfg.SCTM, cfg.Parallelism.Shards)
+	var seed []sim.Tick
+	if cfg.SCTM.SeedMode() == "analytic" {
+		seed = analytic.Seed(cfg, kind, tr)
+	}
+	res, err := core.SelfCorrectShardedSeeded(factory, tr, cfg.SCTM, cfg.Parallelism.Shards, seed)
+	return res, time.Since(start), err
+}
+
+// EstimateAnalytic prices replaying tr on the given fabric kind with the
+// closed-form contention model — no event loop, microseconds instead of
+// replay rounds. The estimate is the "analytic" seed's view of the run;
+// Session.Estimate is the memoized form.
+func EstimateAnalytic(cfg Config, tr *Trace, kind NetworkKind) (AnalyticEstimate, time.Duration, error) {
+	start := time.Now()
+	res, err := analytic.Estimate(cfg, kind, tr)
 	return res, time.Since(start), err
 }
 

@@ -322,3 +322,151 @@ func BenchmarkR17Memory(b *testing.B) { benchTable(b, "r17") }
 
 // BenchmarkR18Faults regenerates the fault-injection degradation table (R18).
 func BenchmarkR18Faults(b *testing.B) { benchTable(b, "r18") }
+
+// BenchmarkR19Seeding regenerates the analytic fast-path table (R19).
+func BenchmarkR19Seeding(b *testing.B) { benchTable(b, "r19") }
+
+// seedBenchCases are the two contended fabrics the analytic seed is built
+// for, each with a workload where contention actually shapes the schedule:
+// the mesh runs the fft kernel, the crossbar a dependency-chained hotspot
+// (every source bursting at node 0) under damping. The rounds metric is the
+// replay-round count the seeding strategy pays; comparing it between the
+// ZeroLoad and Analytic benchmarks shows the fast path's savings per fabric.
+func seedBenchCases(b *testing.B) []struct {
+	name string
+	kind onocsim.NetworkKind
+	cfg  onocsim.Config
+	tr   *onocsim.Trace
+} {
+	b.Helper()
+	mesh := onocsim.DefaultConfig()
+	mesh.System.Cores = 16
+	mesh.Workload.Kernel = "fft"
+	mesh.Workload.Scale = 4
+	mesh.Workload.Iterations = 2
+	meshTr, _, err := onocsim.CaptureTrace(mesh, onocsim.IdealNet)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	xbar := onocsim.DefaultConfig()
+	xbar.System.Cores = 16
+	xbar.SCTM.Damping = 0.5
+	xbarTr := hotspotBenchTrace(16, 8)
+
+	return []struct {
+		name string
+		kind onocsim.NetworkKind
+		cfg  onocsim.Config
+		tr   *onocsim.Trace
+	}{
+		{"mesh", onocsim.Electrical, mesh, meshTr},
+		{"crossbar", onocsim.Optical, xbar, xbarTr},
+	}
+}
+
+// hotspotBenchTrace builds the crossbar seed benchmark's workload: per-source
+// causal chains all targeting node 0, so destination-channel queueing feeds
+// straight back into the schedule.
+func hotspotBenchTrace(nodes, burst int) *onocsim.Trace {
+	tr := &onocsim.Trace{Nodes: nodes, Workload: "hotspot"}
+	id := trace.EventID(1)
+	var tm onocsim.Tick
+	prev := make([]trace.EventID, nodes)
+	for i := 0; i < burst; i++ {
+		for src := 1; src < nodes; src++ {
+			var deps []trace.Dep
+			if prev[src] != 0 {
+				deps = []trace.Dep{{On: prev[src], Class: trace.DepCausal}}
+			}
+			tr.Events = append(tr.Events, trace.Event{
+				ID: id, Src: src, Dst: 0, Bytes: 256, Gap: 2, Deps: deps,
+				RefInject: tm, RefArrive: tm + 60,
+			})
+			prev[src] = id
+			id++
+			tm++
+		}
+	}
+	tr.RefMakespan = tm + 200
+	return tr
+}
+
+// benchSelfCorrectSeed measures the correction loop under one seeding mode
+// across the contended-fabric cases, reporting replay rounds per fabric.
+func benchSelfCorrectSeed(b *testing.B, mode string) {
+	for _, tc := range seedBenchCases(b) {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := tc.cfg
+			cfg.SCTM.Seed = mode
+			var rounds int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, _, err := onocsim.RunSelfCorrection(cfg, tc.tr, tc.kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = len(res.Iterations)
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkSelfCorrectSeedZeroLoad is the baseline arm: legacy zero-load
+// round-0 seeding on both contended fabrics.
+func BenchmarkSelfCorrectSeedZeroLoad(b *testing.B) { benchSelfCorrectSeed(b, "zeroload") }
+
+// BenchmarkSelfCorrectSeedAnalytic is the fast-path arm: closed-form
+// contention-aware round-0 seeding. Compare its rounds metric (and ns/op)
+// with the ZeroLoad benchmark to see the replay-round savings.
+func BenchmarkSelfCorrectSeedAnalytic(b *testing.B) { benchSelfCorrectSeed(b, "analytic") }
+
+// benchEstimateVsCorrect pins the screening-speedup comparison: both arms
+// run the identical (config, trace, fabric) triple, so the ns/op ratio
+// between the estimate and the full correction loop is the speedup a sweep
+// gains by simulating only the survivors.
+func benchEstimateVsCorrect(b *testing.B, kind onocsim.NetworkKind, estimate bool) {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	cfg.Workload.Scale = 4
+	cfg.Workload.Iterations = 2
+	tr, _, err := onocsim.CaptureTrace(cfg, onocsim.IdealNet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if estimate {
+			_, _, err = onocsim.EstimateAnalytic(cfg, tr, kind)
+		} else {
+			_, _, err = onocsim.RunSelfCorrection(cfg, tr, kind)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.NumEvents()), "events")
+}
+
+// BenchmarkAnalyticEstimate prices the closed-form estimator itself on the
+// same config/trace as BenchmarkSelfCorrection — the ns/op ratio between the
+// two is the screening speedup (the estimate never ticks a fabric). The
+// optical crossbar replays in closed form itself, so the ratio there is a
+// modest ~20×; the mesh pair below is where screening pays.
+func BenchmarkAnalyticEstimate(b *testing.B) {
+	benchEstimateVsCorrect(b, onocsim.Optical, true)
+}
+
+// BenchmarkSelfCorrectionMesh / BenchmarkAnalyticEstimateMesh are the same
+// comparison on the electrical mesh, whose flit-level wormhole replay is the
+// expensive fabric screening exists for: the estimate is several hundred
+// times faster on this config, and the gap widens with core count.
+func BenchmarkSelfCorrectionMesh(b *testing.B) {
+	benchEstimateVsCorrect(b, onocsim.Electrical, false)
+}
+
+func BenchmarkAnalyticEstimateMesh(b *testing.B) {
+	benchEstimateVsCorrect(b, onocsim.Electrical, true)
+}

@@ -17,6 +17,22 @@ BenchmarkFast-8    100    1000 ns/op    64 B/op    2 allocs/op
 BenchmarkSlow-8     10    9000 ns/op
 `
 
+// TestParseMinOfRepeats pins the -count=N collapse: repeated result lines
+// for one benchmark keep the fastest run.
+func TestParseMinOfRepeats(t *testing.T) {
+	out := `BenchmarkHot-8  100  1500 ns/op
+BenchmarkHot-8  100  1200 ns/op
+BenchmarkHot-8  100  1900 ns/op
+`
+	res, _, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkHot"].NsPerOp; got != 1200 {
+		t.Fatalf("min collapse: got %v ns/op, want 1200", got)
+	}
+}
+
 func TestRunWritesSnapshot(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	if err := run(strings.NewReader(benchOutput), out, "", 0, false); err != nil {
@@ -108,7 +124,9 @@ func TestComparisonTable(t *testing.T) {
 	if strings.Index(out, "Alfa") > strings.Index(out, "Zeta") {
 		t.Fatalf("rows not sorted by name:\n%s", out)
 	}
-	for _, want := range []string{"1.50x", "3000", "—"} {
+	// The delta column is a typed percent cell: 2000 vs 3000 baseline is a
+	// signed −33.3% change, rendered by the percent kind, not preformatted.
+	for _, want := range []string{"1.50x", "3000", "—", "-33.3%"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table missing %q:\n%s", want, out)
 		}

@@ -11,9 +11,9 @@ import (
 )
 
 // maskWallClock replaces host-time cells, the only nondeterministic content a
-// table can carry, so the remaining bytes are pinnable. The three golden
-// tables below contain none today; the mask keeps the tests honest if a
-// wall-clock column is ever added to one.
+// table can carry, so the remaining bytes are pinnable. R19 carries two
+// wall-clock columns; the other golden tables contain none today, and the
+// mask keeps those tests honest if one is ever added.
 func maskWallClock(t *metrics.Table) {
 	for r := 0; r < t.NumRows(); r++ {
 		for c := range t.Columns {
@@ -25,16 +25,16 @@ func maskWallClock(t *metrics.Table) {
 }
 
 // TestGoldenASCII pins the ASCII rendering of representative experiments to
-// byte-identical golden files captured before the typed-cell refactor: R1
-// (the headline accuracy table), R4 (the synthetic load sweep: floats, bools)
-// and R18 (the fault sweep: ratios, percentages, counters). Simulations are
-// deterministic, so any diff is a rendering or modeling change — regenerate
-// with:
+// byte-identical golden files: R1 (the headline accuracy table), R4 (the
+// synthetic load sweep: floats, bools), R18 (the fault sweep: ratios,
+// percentages, counters) and R19 (the seeding comparison: wall-clock cells
+// masked). Simulations are deterministic, so any diff is a rendering or
+// modeling change — regenerate through the same masked path with:
 //
-//	go run ./cmd/expreport -exp rN -quick -cores 16 -seed 42 > testdata/rN_quick.golden
+//	UPDATE_GOLDEN=1 go test ./cmd/expreport -run TestGoldenASCII
 func TestGoldenASCII(t *testing.T) {
 	opts := experiments.Options{Seed: 42, Cores: 16, Quick: true}
-	for _, id := range []string{"r1", "r4", "r18"} {
+	for _, id := range []string{"r1", "r4", "r18", "r19"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			tb, err := experiments.ByName(id, opts)
@@ -46,7 +46,13 @@ func TestGoldenASCII(t *testing.T) {
 			if err := tb.WriteASCII(&got); err != nil {
 				t.Fatal(err)
 			}
-			want, err := os.ReadFile(filepath.Join("testdata", id+"_quick.golden"))
+			golden := filepath.Join("testdata", id+"_quick.golden")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (r1..r18) or 'all'")
+		exp        = flag.String("exp", "all", "experiment id (r1..r19) or 'all'")
 		cores      = flag.Int("cores", 64, "core count for kernel experiments")
 		seed       = flag.Uint64("seed", 42, "experiment seed")
 		quick      = flag.Bool("quick", false, "shrink sweeps (CI-sized)")
@@ -51,6 +51,7 @@ func main() {
 		cachedir   = flag.String("cachedir", "", "persist captured traces here and reload them across invocations (implies result memoization)")
 		shards     = flag.Int("shards", 0, "shard count for replay-family simulations (0: one per CPU; tables are identical for any count)")
 		faults     = flag.String("faults", "", "run the kernel experiments under this fault preset: off | light | heavy (R18 sweeps all presets regardless)")
+		seedMode   = flag.String("seedmode", "", "self-correction round-0 seeding for the kernel experiments: zeroload | analytic | fixed (R19 compares the modes regardless); -seed stays the RNG seed")
 		progress   = flag.Bool("progress", false, "stream experiment and simulation progress to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -65,7 +66,7 @@ func main() {
 	if *shards == 0 {
 		*shards = runtime.NumCPU()
 	}
-	opts := experiments.Options{Seed: *seed, Cores: *cores, Quick: *quick, Parallel: *parallel, Shards: *shards}
+	opts := experiments.Options{Seed: *seed, Cores: *cores, Quick: *quick, Parallel: *parallel, Shards: *shards, SeedMode: *seedMode}
 	if *progress {
 		opts.Progress = &progressLogger{w: os.Stderr}
 	}

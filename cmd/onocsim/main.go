@@ -35,13 +35,14 @@ func main() {
 		faults     = flag.String("faults", "", "optical fault-injection preset: off | light | heavy (default: keep the config file's faults section)")
 		dumpConfig = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
 		shards     = flag.Int("shards", 0, "shard count for replay-family simulations (0: one per CPU, capped at the core count; results are identical for any count)")
+		seedMode   = flag.String("seed", "", "self-correction round-0 seeding: zeroload | analytic | fixed (default: keep the config file's sctm.seed)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	stop, err := prof.Start(*cpuprofile, *memprofile)
 	if err == nil {
-		err = run(*cfgPath, *network, *mode, *format, *faults, *dumpConfig, *shards)
+		err = run(*cfgPath, *network, *mode, *format, *faults, *seedMode, *dumpConfig, *shards)
 	}
 	if perr := stop(); err == nil {
 		err = perr
@@ -52,7 +53,7 @@ func main() {
 	os.Exit(cliutil.ExitCode(err))
 }
 
-func run(cfgPath, network, mode, format, faults string, dumpConfig bool, shards int) error {
+func run(cfgPath, network, mode, format, faults, seedMode string, dumpConfig bool, shards int) error {
 	if format != "ascii" && format != "json" {
 		return cliutil.Usagef("unknown format %q (want ascii or json)", format)
 	}
@@ -78,6 +79,9 @@ func run(cfgPath, network, mode, format, faults string, dumpConfig bool, shards 
 			return cliutil.UsageError{Err: err}
 		}
 		cfg.Faults = f
+	}
+	if seedMode != "" {
+		cfg.SCTM.Seed = seedMode
 	}
 	kind := onocsim.NetworkKind(network)
 	cfg.Network = kind

@@ -302,6 +302,30 @@ type SCTM struct {
 	// (experiment R8); production use leaves both false.
 	DisableSyncDeps   bool `json:"disable_sync_deps"`
 	DisableCausalDeps bool `json:"disable_causal_deps"`
+	// Seed selects the round-0 latency seeding strategy:
+	//
+	//   ""         legacy behavior: "fixed" when InitialLatencyCycles > 0,
+	//              otherwise "zeroload".
+	//   "zeroload" per-event ZeroLoadLatency on the target fabric.
+	//   "analytic" closed-form contention-aware estimate (internal/analytic),
+	//              falling back to zero-load when the estimator declines.
+	//   "fixed"    the constant InitialLatencyCycles for every event.
+	//
+	// The empty default is deliberately excluded from Fingerprint so cached
+	// results from earlier schema versions stay addressable.
+	Seed string `json:"seed,omitempty"`
+}
+
+// SeedMode is the effective seeding strategy after resolving the legacy
+// empty value: "fixed" when InitialLatencyCycles is set, else "zeroload".
+func (t *SCTM) SeedMode() string {
+	if t.Seed != "" {
+		return t.Seed
+	}
+	if t.InitialLatencyCycles > 0 {
+		return "fixed"
+	}
+	return "zeroload"
 }
 
 // Default returns a fully populated baseline configuration: a 64-core chip,
@@ -506,6 +530,17 @@ func (c *Config) Validate() error {
 	}
 	if t.MakespanTolerance < 0 || t.MakespanTolerance > 0.5 {
 		return fmt.Errorf("config: sctm.makespan_tolerance=%g out of [0,0.5]", t.MakespanTolerance)
+	}
+	switch t.Seed {
+	case "", "zeroload", "analytic", "fixed":
+	default:
+		return fmt.Errorf("config: sctm.seed=%q not in {zeroload, analytic, fixed}", t.Seed)
+	}
+	if t.Seed == "fixed" && t.InitialLatencyCycles <= 0 {
+		return fmt.Errorf("config: sctm.seed=fixed requires sctm.initial_latency_cycles > 0")
+	}
+	if (t.Seed == "zeroload" || t.Seed == "analytic") && t.InitialLatencyCycles > 0 {
+		return fmt.Errorf("config: sctm.seed=%q contradicts sctm.initial_latency_cycles=%d (fixed seeding)", t.Seed, t.InitialLatencyCycles)
 	}
 	if c.MaxCycles < 0 {
 		return fmt.Errorf("config: max_cycles must be ≥0")

@@ -100,6 +100,14 @@ func (c *Config) Fingerprint() (string, error) {
 		w.f64(f.LaserDroopDB)
 	}
 
+	// The SCTM seed mode is hashed only when explicitly set, like Faults:
+	// the empty default contributes nothing, keeping every pre-Seed
+	// fingerprint (and the disk caches keyed on them) byte-identical.
+	if t.Seed != "" {
+		w.str("sctm-seed")
+		w.str(t.Seed)
+	}
+
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 

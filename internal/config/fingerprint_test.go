@@ -65,6 +65,93 @@ func TestFingerprintDistinguishesFaults(t *testing.T) {
 	}
 }
 
+// TestFingerprintSeedModeCompatibility pins that the SCTM seed mode is
+// hashed only when explicitly set: configs with the default empty mode keep
+// the exact digests pinned before the field existed (PR 5), so every
+// previously persisted cache entry stays addressable, while each explicit
+// mode gets its own identity.
+func TestFingerprintSeedModeCompatibility(t *testing.T) {
+	cfg := Default()
+	if cfg.SCTM.Seed != "" {
+		t.Fatalf("Default() seed mode = %q, want empty (legacy)", cfg.SCTM.Seed)
+	}
+	if got, want := fp(t, cfg), "2603f2024a47be4164fbf88ced243dcf57c7ec1cf5535915b39771e85bf2fa28"; got != want {
+		t.Errorf("default-seed fingerprint = %s, want PR5 digest %s", got, want)
+	}
+	optical := cfg
+	optical.Network = NetOptical
+	if got, want := fp(t, optical), "ec4824c872f793960241db4f077ca8c54b4af664b0491e277a1a23330af2da36"; got != want {
+		t.Errorf("default-seed optical fingerprint = %s, want PR5 digest %s", got, want)
+	}
+	// Every explicit mode must hash distinctly from the default and from
+	// each other sibling mode.
+	seen := map[string]string{"default": fp(t, cfg)}
+	for _, mode := range []string{"zeroload", "analytic", "fixed"} {
+		c := Default()
+		c.SCTM.Seed = mode
+		if mode == "fixed" {
+			c.SCTM.InitialLatencyCycles = 25
+		}
+		h := fp(t, c)
+		for prev, ph := range seen {
+			if h == ph {
+				t.Errorf("seed mode %q collides with %s", mode, prev)
+			}
+		}
+		seen[mode] = h
+	}
+}
+
+// TestValidateSeedMode checks the seed-mode cross-field rules.
+func TestValidateSeedMode(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*SCTM)
+		want   string // substring of the error, "" for valid
+	}{
+		{"default", func(t *SCTM) {}, ""},
+		{"zeroload", func(t *SCTM) { t.Seed = "zeroload" }, ""},
+		{"analytic", func(t *SCTM) { t.Seed = "analytic" }, ""},
+		{"fixed with cycles", func(t *SCTM) { t.Seed = "fixed"; t.InitialLatencyCycles = 10 }, ""},
+		{"unknown mode", func(t *SCTM) { t.Seed = "psychic" }, "sctm.seed"},
+		{"fixed without cycles", func(t *SCTM) { t.Seed = "fixed" }, "initial_latency_cycles"},
+		{"zeroload with cycles", func(t *SCTM) { t.Seed = "zeroload"; t.InitialLatencyCycles = 10 }, "contradicts"},
+		{"analytic with cycles", func(t *SCTM) { t.Seed = "analytic"; t.InitialLatencyCycles = 10 }, "contradicts"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := Default()
+			c.mutate(&cfg.SCTM)
+			err := cfg.Validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestSeedModeResolution pins the legacy resolution of the empty mode.
+func TestSeedModeResolution(t *testing.T) {
+	var s SCTM
+	if got := s.SeedMode(); got != "zeroload" {
+		t.Errorf("empty SCTM seed mode = %q, want zeroload", got)
+	}
+	s.InitialLatencyCycles = 5
+	if got := s.SeedMode(); got != "fixed" {
+		t.Errorf("legacy initial-latency seed mode = %q, want fixed", got)
+	}
+	s.Seed = "analytic"
+	if got := s.SeedMode(); got != "analytic" {
+		t.Errorf("explicit seed mode = %q, want analytic", got)
+	}
+}
+
 func TestFaultPreset(t *testing.T) {
 	for _, name := range []string{"", "off", "none"} {
 		f, err := FaultPreset(name)

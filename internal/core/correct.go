@@ -101,7 +101,16 @@ func (s *serialRounds) run(tr *trace.Trace, inject []sim.Tick) (ReplayResult, er
 // from the dependency DAG and (b) measuring realized latencies by replaying
 // that schedule on a fresh fabric, until the schedule reaches a fixpoint.
 func SelfCorrect(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM) (CorrectionResult, error) {
-	return selfCorrect(&serialRounds{src: netSource{factory: factory}}, tr, cfg)
+	return SelfCorrectSeeded(factory, tr, cfg, nil)
+}
+
+// SelfCorrectSeeded is SelfCorrect with an externally supplied round-0
+// latency seed, one entry per trace event (the analytical fast path computes
+// one from the trace's byte histogram). A nil seed reproduces SelfCorrect
+// exactly; a non-nil seed takes precedence over both InitialLatencyCycles
+// and the zero-load probe. The seed slice is copied, never mutated.
+func SelfCorrectSeeded(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM, seed []sim.Tick) (CorrectionResult, error) {
+	return selfCorrect(&serialRounds{src: netSource{factory: factory}}, tr, cfg, seed)
 }
 
 // SelfCorrectSharded is SelfCorrect with each round's replay executed across
@@ -110,13 +119,19 @@ func SelfCorrect(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM) (Corr
 // replay reproduces the serial replay exactly — so the shard count is purely
 // a wall-clock knob.
 func SelfCorrectSharded(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM, shards int) (CorrectionResult, error) {
-	if shards <= 1 {
-		return SelfCorrect(factory, tr, cfg)
-	}
-	return selfCorrect(NewShardedReplayer(factory, shards), tr, cfg)
+	return SelfCorrectShardedSeeded(factory, tr, cfg, shards, nil)
 }
 
-func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM) (CorrectionResult, error) {
+// SelfCorrectShardedSeeded combines SelfCorrectSharded's parallel replay
+// rounds with SelfCorrectSeeded's external round-0 seed.
+func SelfCorrectShardedSeeded(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM, shards int, seed []sim.Tick) (CorrectionResult, error) {
+	if shards <= 1 {
+		return SelfCorrectSeeded(factory, tr, cfg, seed)
+	}
+	return selfCorrect(NewShardedReplayer(factory, shards), tr, cfg, seed)
+}
+
+func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []sim.Tick) (CorrectionResult, error) {
 	if err := tr.Validate(); err != nil {
 		return CorrectionResult{}, fmt.Errorf("core: invalid trace: %w", err)
 	}
@@ -126,10 +141,17 @@ func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM) (Correcti
 	}
 	n := len(tr.Events)
 
-	// Seed latencies: a fixed constant if configured, else the target
-	// fabric's zero-load estimate per message.
+	// Seed latencies: an externally supplied per-event estimate wins (the
+	// damping blend mutates lat in place, so the caller's slice is copied),
+	// then a fixed constant if configured, else the target fabric's
+	// zero-load estimate per message.
 	lat := make([]sim.Tick, n)
-	if cfg.InitialLatencyCycles > 0 {
+	if seed != nil {
+		if len(seed) != n {
+			return CorrectionResult{}, fmt.Errorf("core: seed has %d latencies for %d events", len(seed), n)
+		}
+		copy(lat, seed)
+	} else if cfg.InitialLatencyCycles > 0 {
 		for i := range lat {
 			lat[i] = sim.Tick(cfg.InitialLatencyCycles)
 		}

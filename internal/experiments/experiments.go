@@ -51,6 +51,11 @@ type Options struct {
 	// experiment config. The zero value leaves all experiments fault-free.
 	// R18 ignores it and sweeps the presets itself.
 	Faults config.Faults
+	// SeedMode sets Config.SCTM.Seed on every experiment config: the
+	// round-0 latency seeding strategy of the self-correction loop
+	// (zeroload, analytic, fixed). Empty keeps the legacy default. R19
+	// ignores it and compares the modes itself.
+	SeedMode string
 	// Progress observes the run: experiment start/finish events from the
 	// registry dispatch, and — when it is also installed on the Session
 	// (All does this for sessions it creates; other callers use
@@ -89,6 +94,7 @@ func kernelConfig(o Options, kernel string) onocsim.Config {
 		cfg.Parallelism.Shards = o.Shards
 	}
 	cfg.Faults = o.Faults
+	cfg.SCTM.Seed = o.SeedMode
 	cfg.Name = fmt.Sprintf("%s-%dc", kernel, cfg.System.Cores)
 	return cfg
 }

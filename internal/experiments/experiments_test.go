@@ -136,10 +136,10 @@ func TestByNameUnknown(t *testing.T) {
 	if _, err := ByName("r99", quickOpts); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if len(Names()) != 18 {
+	if len(Names()) != 19 {
 		t.Fatalf("Names() = %v", Names())
 	}
-	if Known("r99") || !Known("r18") {
+	if Known("r99") || !Known("r19") {
 		t.Fatal("Known misclassifies experiment names")
 	}
 }

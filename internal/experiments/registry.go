@@ -71,7 +71,7 @@ type Descriptor struct {
 }
 
 // registry is the canonical experiment list, in report order. R1–R8
-// reconstruct the paper's evaluation; R9–R18 are extensions.
+// reconstruct the paper's evaluation; R9–R19 are extensions.
 var registry = []Descriptor{
 	{
 		ID:        "r1",
@@ -216,6 +216,14 @@ var registry = []Descriptor{
 		CostClass: CostMedium,
 		Needs:     []Need{NeedIdealCapture, NeedOpticalTruth, NeedHybridTruth},
 		Run:       R18Faults,
+	},
+	{
+		ID:        "r19",
+		Title:     "Analytical fast path: seeding savings and screening error (extension)",
+		Summary:   "self-correction rounds and wall clock under analytic vs zero-load seeding, plus closed-form error bands",
+		CostClass: CostMedium,
+		Needs:     []Need{NeedIdealCapture},
+		Run:       R19Seeding,
 	},
 }
 

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"onocsim"
+	"onocsim/internal/metrics"
+	"onocsim/internal/workload"
+)
+
+// R19Seeding evaluates the analytical fast path on both of its jobs. As a
+// warm start it compares the self-correction loop under zero-load and
+// analytic round-0 seeding per kernel and contended fabric: replay rounds,
+// wall clock, the round reduction, and the relative drift between the two
+// converged makespans (0.0% when the arms stop at the same fixpoint; with
+// loose tolerances a warm start may legitimately stop a round earlier at a
+// near-fixpoint within tolerance of the other). As a screening model it
+// reports the closed-form estimate against the simulated result: makespan
+// and mean-latency error bands. Options.SeedMode is ignored: this experiment
+// owns both seeding arms. The zero-load arm runs with the legacy empty seed
+// mode, so on a warm session it shares its self-correction results with the
+// other experiments.
+func R19Seeding(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"R19 (extension) — analytical fast path: seeding savings and screening error",
+		"kernel", "fabric", "rounds (zero-load)", "rounds (analytic)", "rounds saved",
+		"wall (zero-load)", "wall (analytic)",
+		"makespan est", "makespan sim", "makespan err", "mean-latency err", "final drift")
+	fabrics := []onocsim.NetworkKind{onocsim.Optical, onocsim.Electrical, onocsim.Hybrid}
+	for _, k := range workload.KernelNames() {
+		cfg := kernelConfig(o, k)
+		cfg.SCTM.Seed = ""
+		tr, _, err := o.Session.CaptureTrace(cfg, onocsim.IdealNet)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range fabrics {
+			zl, zlWall, err := o.Session.RunSelfCorrection(cfg, tr, kind)
+			if err != nil {
+				return nil, err
+			}
+			acfg := cfg
+			acfg.SCTM.Seed = "analytic"
+			an, anWall, err := o.Session.RunSelfCorrection(acfg, tr, kind)
+			if err != nil {
+				return nil, err
+			}
+			est, _, err := o.Session.Estimate(cfg, tr, kind)
+			if err != nil {
+				return nil, err
+			}
+			var saved float64
+			if rz := len(zl.Iterations); rz > 0 {
+				saved = float64(rz-len(an.Iterations)) / float64(rz)
+			}
+			t.AddCells(
+				metrics.String(k), metrics.String(string(kind)),
+				metrics.Int(int64(len(zl.Iterations)), "rounds"),
+				metrics.Int(int64(len(an.Iterations)), "rounds"),
+				metrics.Percent(saved),
+				metrics.Duration(zlWall), metrics.Duration(anWall),
+				cycles(est.Makespan), cycles(zl.Final.Makespan),
+				metrics.Percent(metrics.RelErr(float64(est.Makespan), float64(zl.Final.Makespan))),
+				metrics.Percent(metrics.RelErr(est.MeanLatency, zl.Final.MeanLatency)),
+				metrics.Percent(metrics.RelErr(float64(an.Final.Makespan), float64(zl.Final.Makespan))),
+			)
+		}
+	}
+	return t, nil
+}

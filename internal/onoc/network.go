@@ -13,7 +13,6 @@ package onoc
 
 import (
 	"fmt"
-	"math"
 
 	"onocsim/internal/config"
 	"onocsim/internal/fault"
@@ -257,25 +256,18 @@ func NewWithFaults(nodes int, cfg config.Optical, faults config.Faults, seed uin
 }
 
 // derateTable maps serpentine hop count → serialization multiplier under a
-// drooped laser: halving the modulation rate recovers ≈3 dB of link margin,
-// so a lightpath whose loss exceeds the shrunken budget by e dB is slowed by
-// 2^ceil(e/3). Returns nil when every path still closes at full rate, which
-// keeps the fault-free fast path branch-free.
+// drooped laser; the physics lives in photonics.RateDerateTable (shared with
+// the closed-form analytic model), converted here into fabric ticks. Returns
+// nil when every path still closes at full rate, which keeps the fault-free
+// fast path branch-free.
 func derateTable(p photonics.DeviceParams, g photonics.CrossbarGeometry, b photonics.Budget, droopDB float64) []sim.Tick {
-	if droopDB <= 0 || b.MaxFeasibleHops >= g.Nodes-1 {
+	raw := photonics.RateDerateTable(p, g, b, droopDB)
+	if raw == nil {
 		return nil
 	}
-	feasible := b.WorstLossDB - droopDB
-	tab := make([]sim.Tick, g.Nodes)
-	for h := 1; h < g.Nodes; h++ {
-		tab[h] = 1
-		if excess := p.LossDB(g.PathAt(h)) - feasible; excess > 0 {
-			shift := int(math.Ceil(excess / 3))
-			if shift > 16 {
-				shift = 16
-			}
-			tab[h] = 1 << shift
-		}
+	tab := make([]sim.Tick, len(raw))
+	for i, v := range raw {
+		tab[i] = sim.Tick(v)
 	}
 	return tab
 }

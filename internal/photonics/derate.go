@@ -1,0 +1,30 @@
+package photonics
+
+import "math"
+
+// RateDerateTable maps serpentine hop count → modulation-rate serialization
+// multiplier under a drooped laser: halving the rate recovers ≈3 dB of link
+// margin, so a lightpath whose loss exceeds the shrunken budget by e dB is
+// slowed by 2^ceil(e/3) (capped at 2^16). It returns nil when every path
+// still closes at full rate, so fault-free consumers stay branch-free. Both
+// the crossbar fabrics and the closed-form analytic model derive their
+// per-pair derate factors from this one table, keeping the physical story
+// in a single place.
+func RateDerateTable(p DeviceParams, g CrossbarGeometry, b Budget, droopDB float64) []int64 {
+	if droopDB <= 0 || b.MaxFeasibleHops >= g.Nodes-1 {
+		return nil
+	}
+	feasible := b.WorstLossDB - droopDB
+	tab := make([]int64, g.Nodes)
+	for h := 1; h < g.Nodes; h++ {
+		tab[h] = 1
+		if excess := p.LossDB(g.PathAt(h)) - feasible; excess > 0 {
+			shift := int(math.Ceil(excess / 3))
+			if shift > 16 {
+				shift = 16
+			}
+			tab[h] = 1 << shift
+		}
+	}
+	return tab
+}

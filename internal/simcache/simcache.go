@@ -45,6 +45,10 @@ const (
 	OpSCTM    Op = "sctm"
 	// OpSynthetic is an open-loop synthetic traffic run on Key.Kind.
 	OpSynthetic Op = "synthetic"
+	// OpEstimate is a closed-form analytic latency estimate targeting
+	// Key.Kind of a trace captured on Key.Capture — keyed like the replay
+	// ops, priced like none of them.
+	OpEstimate Op = "estimate"
 )
 
 // Key identifies one simulation result.

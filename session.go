@@ -105,7 +105,7 @@ func normalizeFor(cfg Config, kind NetworkKind, op simcache.Op) Config {
 	// replay's two dependency toggles.
 	switch op {
 	case simcache.OpSCTM:
-	case simcache.OpCoupled:
+	case simcache.OpCoupled, simcache.OpEstimate:
 		sc := cfg.SCTM
 		n.SCTM = def.SCTM
 		n.SCTM.DisableSyncDeps = sc.DisableSyncDeps
@@ -125,8 +125,11 @@ func normalizeFor(cfg Config, kind NetworkKind, op simcache.Op) Config {
 	// Faults), so two seeds degrade the fabric differently and must not
 	// share a replay result.
 	switch op {
-	case simcache.OpNaive, simcache.OpCoupled, simcache.OpSCTM:
-		if !n.Faults.Enabled() {
+	case simcache.OpNaive, simcache.OpCoupled, simcache.OpSCTM, simcache.OpEstimate:
+		// The closed-form estimator derates faults by expected value and
+		// never samples a fault schedule, so its result is seed-independent
+		// even with faults enabled.
+		if !n.Faults.Enabled() || op == simcache.OpEstimate {
 			n.Seed = def.Seed
 		}
 		n.System = def.System
@@ -307,6 +310,40 @@ func (s *Session) RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (Co
 		return CorrectionResult{}, 0, err
 	}
 	return cv.Res, cv.Wall, nil
+}
+
+// estVal wraps an analytic estimate with its timing for the disk layer.
+type estVal struct {
+	Res  AnalyticEstimate
+	Wall time.Duration
+}
+
+// Estimate is the memoized form of EstimateAnalytic: the closed-form
+// contention-aware latency estimate of replaying tr on the given fabric
+// kind. Cheap enough to screen whole design spaces, cached anyway so
+// repeated sweeps over a persisted session cost a map lookup.
+func (s *Session) Estimate(cfg Config, tr *Trace, kind NetworkKind) (AnalyticEstimate, time.Duration, error) {
+	if s == nil {
+		return EstimateAnalytic(cfg, tr, kind)
+	}
+	key, ok, err := s.replayKey(cfg, tr, kind, simcache.OpEstimate)
+	if err != nil {
+		return AnalyticEstimate{}, 0, err
+	}
+	if !ok {
+		return EstimateAnalytic(cfg, tr, kind)
+	}
+	ev, err := simcache.DoValue(s.cache, key, func() (estVal, error) {
+		res, wall, err := EstimateAnalytic(cfg, tr, kind)
+		if err != nil {
+			return estVal{}, err
+		}
+		return estVal{Res: res, Wall: wall}, nil
+	})
+	if err != nil {
+		return AnalyticEstimate{}, 0, err
+	}
+	return ev.Res, ev.Wall, nil
 }
 
 // RunSyntheticLoad is the memoized form of the package function.
