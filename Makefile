@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check check test test-race bench bench-json report report-csv experiments-md examples clean
+.PHONY: all build vet fmt-check check test test-race bench bench-json bench-mem report report-csv experiments-md examples clean
 
 all: build vet test test-race
 
@@ -31,11 +31,12 @@ test: vet
 # The serial simulators are single-goroutine by design; the race detector
 # guards the experiment harness's concurrent study fan-out, the sharded
 # conservative-lookahead engine (barrier protocol in internal/sim, shard
-# partition/merge in internal/core), the fault injector's lazily extended
-# per-channel timelines under sharded replay, and the analytic estimator's
-# shared probe cache.
+# partition/merge in internal/core), the streaming decoders feeding
+# per-shard runners (internal/trace sources hand out concurrent passes),
+# the fault injector's lazily extended per-channel timelines under sharded
+# replay, and the analytic estimator's shared probe cache.
 test-race:
-	$(GO) test -race ./internal/analytic/ ./internal/experiments/ ./internal/sim/ ./internal/core/ ./internal/fault/ .
+	$(GO) test -race ./internal/analytic/ ./internal/experiments/ ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/trace/ .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -51,10 +52,18 @@ bench:
 # benchmark a shot at a fast phase, where `-count=N` repeats land
 # back-to-back inside a single phase. Override the variables to
 # re-baseline, e.g. `make bench-json BENCH_OUT=tmp.json BENCH_BASE=BENCH_PR6.json`.
-BENCH_OUT ?= BENCH_PR6.json
-BENCH_BASE ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR6.json
 bench-json:
 	for i in 1 2 3; do $(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ || exit 1; done | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress 25
+
+# Memory-focused snapshot: just the RSS/overhead benchmark family, folded
+# into the same $(BENCH_OUT) gate. The max-rss-bytes rows are what pin the
+# streaming engines' O(window) residency contract — benchjson collapses the
+# three passes to each row's minimum and fails if residency (or time)
+# regresses beyond the limit vs $(BENCH_BASE).
+bench-mem:
+	for i in 1 2 3; do $(GO) test -run '^$$' -bench 'RSS|NaiveReplayStream|NaiveReplayInMemory' -benchmem . || exit 1; done | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress 25
 
 # Regenerate the full evaluation (R1–R19) at paper scale.
 report:

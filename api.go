@@ -60,6 +60,14 @@ type (
 	Accuracy = core.Accuracy
 	// AnalyticEstimate is a closed-form contention-aware latency estimate.
 	AnalyticEstimate = analytic.Result
+	// TraceSource yields repeated decode passes over a stored trace; the
+	// streaming replay engines consume one instead of a materialized Trace.
+	TraceSource = trace.Source
+	// TraceMeta is the trace header a TraceSource knows without decoding.
+	TraceMeta = trace.Meta
+	// ReplaySummary is the constant-residency replay result (no per-event
+	// time vectors).
+	ReplaySummary = core.ReplaySummary
 	// Tick is simulated time in cycles.
 	Tick = sim.Tick
 	// Table renders experiment results as ASCII or CSV.
@@ -242,9 +250,13 @@ func CaptureTrace(cfg Config, captureOn NetworkKind) (*Trace, time.Duration, err
 
 // RunNaiveReplay replays the trace at recorded timestamps on a fresh fabric
 // of the given kind. With cfg.Parallelism.Shards > 1 the replay runs on the
-// sharded conservative-lookahead engine; results are byte-identical either
-// way.
+// sharded conservative-lookahead engine; with cfg.Parallelism.Stream it runs
+// on the streaming decoder (window per cfg.Parallelism.WindowEvents).
+// Results are byte-identical across all three engines.
 func RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	if cfg.Parallelism.Stream {
+		return RunNaiveReplayStream(cfg, MemTraceSource(tr), kind)
+	}
 	if shards := cfg.Parallelism.Shards; shards > 1 {
 		factory, err := NetworkFactory(cfg, kind)
 		if err != nil {
@@ -286,8 +298,10 @@ func RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, ti
 
 // RunSelfCorrection runs the Self-Correction Trace Model against a fresh
 // fabric per iteration. With cfg.Parallelism.Shards > 1 every round's replay
-// runs on the sharded conservative-lookahead engine; the trajectory and
-// result are byte-identical for any shard count. With cfg.SCTM.Seed =
+// runs on the sharded conservative-lookahead engine; with
+// cfg.Parallelism.Stream every round streams the trace through the
+// incremental decoder instead of indexing the materialized events. The
+// trajectory and result are byte-identical across all engines. With cfg.SCTM.Seed =
 // "analytic" the round-0 latencies come from the closed-form contention
 // estimate instead of the zero-load probe, typically saving replay rounds
 // on contended fabrics; when the estimator declines, the loop falls back to
@@ -303,6 +317,14 @@ func RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResul
 	var seed []sim.Tick
 	if cfg.SCTM.SeedMode() == "analytic" {
 		seed = analytic.Seed(cfg, kind, tr)
+	}
+	if cfg.Parallelism.Stream {
+		// The trace is materialized here anyway, so streaming execution still
+		// gets the analytic seed; only the pure-source entry point
+		// (RunSelfCorrectionStream) lacks it.
+		res, err := core.SelfCorrectStream(factory, trace.NewMemSource(tr), cfg.SCTM,
+			cfg.Parallelism.Shards, cfg.Parallelism.WindowEvents, seed)
+		return res, time.Since(start), err
 	}
 	res, err := core.SelfCorrectShardedSeeded(factory, tr, cfg.SCTM, cfg.Parallelism.Shards, seed)
 	return res, time.Since(start), err
@@ -384,3 +406,67 @@ func SaveTrace(path string, tr *Trace) error { return trace.SaveFile(path, tr) }
 
 // LoadTrace reads a binary trace file.
 func LoadTrace(path string) (*Trace, error) { return trace.LoadFile(path) }
+
+// OpenTraceFile opens a binary trace file as a streaming source: the header
+// is validated up front, events decode incrementally on each pass, and
+// resident memory stays bounded by the replay window instead of the trace
+// length.
+func OpenTraceFile(path string) (TraceSource, error) { return trace.NewFileSource(path) }
+
+// MemTraceSource adapts an in-memory trace to the TraceSource contract, so
+// streaming and materialized execution share one code path in callers.
+func MemTraceSource(tr *Trace) TraceSource { return trace.NewMemSource(tr) }
+
+// RunNaiveReplayStream is RunNaiveReplay over a TraceSource: the trace is
+// decoded incrementally (window per cfg.Parallelism.WindowEvents) instead of
+// materialized, with cfg.Parallelism.Shards honored exactly as in the
+// in-memory path. Results are byte-identical to RunNaiveReplay on the same
+// trace for any shard count and any sufficient window.
+func RunNaiveReplayStream(cfg Config, src TraceSource, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	factory, err := NetworkFactory(cfg, kind)
+	if err != nil {
+		return ReplayResult{}, 0, err
+	}
+	acquireSimSlot()
+	defer releaseSimSlot()
+	start := time.Now()
+	res, err := core.NaiveReplayStream(factory, src, cfg.Parallelism.Shards, cfg.Parallelism.WindowEvents)
+	return res, time.Since(start), err
+}
+
+// RunSelfCorrectionStream is RunSelfCorrection over a TraceSource: every
+// trace-touching step of the loop (zero-load probe, schedule derivation,
+// replay rounds) streams from the source, and cfg.Parallelism.Shards selects
+// sharded replay rounds exactly as in the in-memory path. Trajectories and
+// results are byte-identical to RunSelfCorrection with the same shard count
+// — except that cfg.SCTM.Seed = "analytic" is a materialized-path feature
+// (the closed-form estimator wants the whole trace); streaming always seeds
+// from zero-load latencies or InitialLatencyCycles.
+func RunSelfCorrectionStream(cfg Config, src TraceSource, kind NetworkKind) (CorrectionResult, time.Duration, error) {
+	factory, err := NetworkFactory(cfg, kind)
+	if err != nil {
+		return CorrectionResult{}, 0, err
+	}
+	acquireSimSlot()
+	defer releaseSimSlot()
+	start := time.Now()
+	res, err := core.SelfCorrectStream(factory, src, cfg.SCTM, cfg.Parallelism.Shards, cfg.Parallelism.WindowEvents, nil)
+	return res, time.Since(start), err
+}
+
+// RunNaiveReplaySummary replays the trace at recorded timestamps with truly
+// constant residency — O(window + nodes), no per-event vectors — returning
+// summary metrics only. This is the fully out-of-core tier: traces far
+// larger than memory replay at flat RSS. The summary fields equal the
+// corresponding RunNaiveReplay fields (serial path) on the same fabric.
+func RunNaiveReplaySummary(cfg Config, src TraceSource, kind NetworkKind) (ReplaySummary, time.Duration, error) {
+	net, err := BuildNetwork(cfg, kind)
+	if err != nil {
+		return ReplaySummary{}, 0, err
+	}
+	acquireSimSlot()
+	defer releaseSimSlot()
+	start := time.Now()
+	res, err := core.NaiveReplaySummaryStream(net, src)
+	return res, time.Since(start), err
+}

@@ -29,12 +29,17 @@ import (
 	"onocsim/internal/metrics"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. MaxRSSBytes and AllocsPerEvent come
+// from the repo's memory benchmarks, which report them as the custom units
+// "max-rss-bytes" and "allocs/event"; they are the gate for the streaming
+// replay path's O(window) residency contract.
 type Result struct {
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Iterations     int64   `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp    int64   `json:"allocs_per_op,omitempty"`
+	MaxRSSBytes    int64   `json:"max_rss_bytes,omitempty"`
+	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
 }
 
 // Snapshot is the emitted document.
@@ -52,10 +57,14 @@ type Snapshot struct {
 
 // parse reads `go test -bench` output: header key: value lines and benchmark
 // result lines ("BenchmarkName-8  20  105088199 ns/op  ... B/op  ... allocs/op").
-// Custom metrics (e.g. "5.000 rows") are ignored. Repeated lines for the
+// The memory units "max-rss-bytes" and "allocs/event" are captured; other
+// custom metrics (e.g. "5.000 rows") are ignored. Repeated lines for the
 // same benchmark (from `-count=N`) collapse to the fastest run: on a shared
 // CI host the minimum is the measurement least polluted by scheduler and
 // neighbor noise, and the regression gate should compare code, not load.
+// Memory fields collapse to their own minima across the repeats for the same
+// reason — a GC that a neighbor's load delayed inflates a single repeat's
+// residency, not the code's.
 func parse(r io.Reader) (map[string]Result, map[string]string, error) {
 	results := map[string]Result{}
 	env := map[string]string{}
@@ -93,15 +102,43 @@ func parse(r io.Reader) (map[string]Result, map[string]string, error) {
 				res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 			case "allocs/op":
 				res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "max-rss-bytes":
+				v, _ := strconv.ParseFloat(val, 64)
+				res.MaxRSSBytes = int64(v)
+			case "allocs/event":
+				res.AllocsPerEvent, _ = strconv.ParseFloat(val, 64)
 			}
 		}
 		if res.NsPerOp > 0 {
-			if prev, ok := results[name]; !ok || res.NsPerOp < prev.NsPerOp {
-				results[name] = res
+			prev, ok := results[name]
+			if ok {
+				res.MaxRSSBytes = minNonzero(res.MaxRSSBytes, prev.MaxRSSBytes)
+				res.AllocsPerEvent = minNonzeroF(res.AllocsPerEvent, prev.AllocsPerEvent)
+				if prev.NsPerOp < res.NsPerOp {
+					mem := Result{MaxRSSBytes: res.MaxRSSBytes, AllocsPerEvent: res.AllocsPerEvent}
+					res = prev
+					res.MaxRSSBytes, res.AllocsPerEvent = mem.MaxRSSBytes, mem.AllocsPerEvent
+				}
 			}
+			results[name] = res
 		}
 	}
 	return results, env, sc.Err()
+}
+
+// minNonzero folds repeat measurements where zero means "not reported".
+func minNonzero(a, b int64) int64 {
+	if a == 0 || (b != 0 && b < a) {
+		return b
+	}
+	return a
+}
+
+func minNonzeroF(a, b float64) float64 {
+	if a == 0 || (b != 0 && b < a) {
+		return b
+	}
+	return a
 }
 
 // parseBaseline reads a baseline file: either raw `go test -bench` text or a
@@ -149,13 +186,15 @@ func comparisonTable(snap Snapshot) *metrics.Table {
 	}
 	sort.Strings(names)
 	t := metrics.NewTable("benchmark comparison (ns/op)",
-		"benchmark", "baseline", "current", "speedup", "delta", "B/op", "allocs/op")
+		"benchmark", "baseline", "current", "speedup", "delta", "B/op", "allocs/op", "max RSS", "RSS delta")
 	for _, name := range names {
 		c := snap.Current[name]
 		base, hasBase := snap.Baseline[name]
 		baseCell := metrics.String("—")
 		speedCell := metrics.String("—")
 		deltaCell := metrics.String("—")
+		rssCell := metrics.String("—")
+		rssDeltaCell := metrics.String("—")
 		if hasBase {
 			baseCell = metrics.Float(base.NsPerOp, 0, "ns/op")
 			if sp, ok := snap.Speedup[name]; ok {
@@ -167,6 +206,12 @@ func comparisonTable(snap Snapshot) *metrics.Table {
 				deltaCell = metrics.Percent((c.NsPerOp - base.NsPerOp) / base.NsPerOp)
 			}
 		}
+		if c.MaxRSSBytes > 0 {
+			rssCell = metrics.Int(c.MaxRSSBytes, "B")
+			if hasBase && base.MaxRSSBytes > 0 {
+				rssDeltaCell = metrics.Percent(float64(c.MaxRSSBytes-base.MaxRSSBytes) / float64(base.MaxRSSBytes))
+			}
+		}
 		t.AddCells(
 			metrics.String(strings.TrimPrefix(name, "Benchmark")),
 			baseCell,
@@ -175,6 +220,8 @@ func comparisonTable(snap Snapshot) *metrics.Table {
 			deltaCell,
 			metrics.Int(c.BytesPerOp, "B/op"),
 			metrics.Int(c.AllocsPerOp, "allocs/op"),
+			rssCell,
+			rssDeltaCell,
 		)
 	}
 	return t
@@ -212,6 +259,16 @@ func run(stdin io.Reader, out, baseline string, maxRegress float64, table bool) 
 				regressions = append(regressions, fmt.Sprintf(
 					"%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, limit %.0f%%)",
 					name, c.NsPerOp, b.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100, maxRegress))
+			}
+			// Peak residency gates under the same percentage: the streaming
+			// engines' whole point is bounded memory, so an RSS regression is
+			// as real as a slowdown.
+			if maxRegress > 0 && b.MaxRSSBytes > 0 && c.MaxRSSBytes > 0 &&
+				float64(c.MaxRSSBytes) > float64(b.MaxRSSBytes)*(1+maxRegress/100) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: max RSS %d B vs baseline %d B (+%.1f%%, limit %.0f%%)",
+					name, c.MaxRSSBytes, b.MaxRSSBytes,
+					(float64(c.MaxRSSBytes)/float64(b.MaxRSSBytes)-1)*100, maxRegress))
 			}
 		}
 	}

@@ -132,3 +132,68 @@ func TestComparisonTable(t *testing.T) {
 		}
 	}
 }
+
+// TestParseMemoryUnits pins the custom memory units: max-rss-bytes and
+// allocs/event land in their own fields, and across -count repeats both
+// collapse to their minima independently of which repeat was fastest.
+func TestParseMemoryUnits(t *testing.T) {
+	out := `BenchmarkStream-8  10  2000 ns/op  1048576 max-rss-bytes  3.50 allocs/event
+BenchmarkStream-8  10  1500 ns/op  2097152 max-rss-bytes  3.75 allocs/event
+`
+	res, _, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res["BenchmarkStream"]
+	if r.NsPerOp != 1500 {
+		t.Errorf("ns/op %v, want 1500 (fastest repeat)", r.NsPerOp)
+	}
+	if r.MaxRSSBytes != 1048576 {
+		t.Errorf("max RSS %d, want 1048576 (min across repeats)", r.MaxRSSBytes)
+	}
+	if r.AllocsPerEvent != 3.50 {
+		t.Errorf("allocs/event %v, want 3.5 (min across repeats)", r.AllocsPerEvent)
+	}
+}
+
+// TestRSSGate checks that -maxregress also fails on a residency regression,
+// even when timing improved.
+func TestRSSGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	baseRun := "BenchmarkStream-8  10  2000 ns/op  1000000 max-rss-bytes\n"
+	if err := run(strings.NewReader(baseRun), base, "", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// Faster but 3x the residency: must trip the gate.
+	bloated := "BenchmarkStream-8  10  1000 ns/op  3000000 max-rss-bytes\n"
+	err := run(strings.NewReader(bloated), filepath.Join(dir, "out.json"), base, 25, false)
+	if err == nil {
+		t.Fatal("RSS regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "max RSS") {
+		t.Fatalf("gate error does not name RSS: %v", err)
+	}
+	// Same residency within the limit passes.
+	ok := "BenchmarkStream-8  10  1000 ns/op  1100000 max-rss-bytes\n"
+	if err := run(strings.NewReader(ok), filepath.Join(dir, "out2.json"), base, 25, false); err != nil {
+		t.Fatalf("in-limit run failed the gate: %v", err)
+	}
+}
+
+// TestTableRendersMemoryColumns smoke-checks the memory columns render.
+func TestTableRendersMemoryColumns(t *testing.T) {
+	snap := Snapshot{
+		Current:  map[string]Result{"BenchmarkStream": {NsPerOp: 1000, MaxRSSBytes: 4096}},
+		Baseline: map[string]Result{"BenchmarkStream": {NsPerOp: 1200, MaxRSSBytes: 2048}},
+		Speedup:  map[string]float64{"BenchmarkStream": 1.2},
+	}
+	var buf bytes.Buffer
+	if err := comparisonTable(snap).WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "max RSS") || !strings.Contains(s, "4096") {
+		t.Fatalf("table missing memory column:\n%s", s)
+	}
+}

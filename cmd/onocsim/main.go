@@ -35,6 +35,8 @@ func main() {
 		faults     = flag.String("faults", "", "optical fault-injection preset: off | light | heavy (default: keep the config file's faults section)")
 		dumpConfig = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
 		shards     = flag.Int("shards", 0, "shard count for replay-family simulations (0: one per CPU, capped at the core count; results are identical for any count)")
+		stream     = flag.Bool("stream", false, "run replay-family simulations on the streaming out-of-core decoder (results are identical)")
+		window     = flag.Int("window", 0, "streaming read-ahead window in events (0: default 64Ki, -1: unbounded)")
 		seedMode   = flag.String("seed", "", "self-correction round-0 seeding: zeroload | analytic | fixed (default: keep the config file's sctm.seed)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -42,7 +44,7 @@ func main() {
 	flag.Parse()
 	stop, err := prof.Start(*cpuprofile, *memprofile)
 	if err == nil {
-		err = run(*cfgPath, *network, *mode, *format, *faults, *seedMode, *dumpConfig, *shards)
+		err = run(*cfgPath, *network, *mode, *format, *faults, *seedMode, *dumpConfig, *shards, *stream, *window)
 	}
 	if perr := stop(); err == nil {
 		err = perr
@@ -53,7 +55,7 @@ func main() {
 	os.Exit(cliutil.ExitCode(err))
 }
 
-func run(cfgPath, network, mode, format, faults, seedMode string, dumpConfig bool, shards int) error {
+func run(cfgPath, network, mode, format, faults, seedMode string, dumpConfig bool, shards int, stream bool, window int) error {
 	if format != "ascii" && format != "json" {
 		return cliutil.Usagef("unknown format %q (want ascii or json)", format)
 	}
@@ -92,6 +94,14 @@ func run(cfgPath, network, mode, format, faults, seedMode string, dumpConfig boo
 		shards = runtime.NumCPU()
 	}
 	cfg.Parallelism.Shards = shards
+	// Streaming, like sharding, is an execution detail: it changes resident
+	// memory, never results, so the flags only select the engine.
+	if stream {
+		cfg.Parallelism.Stream = true
+	}
+	if window != 0 {
+		cfg.Parallelism.WindowEvents = window
+	}
 
 	if dumpConfig {
 		return cfg.Save("/dev/stdout")

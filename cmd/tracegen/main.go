@@ -2,10 +2,16 @@
 // configured workload execution-driven on a capture fabric, then writes it
 // in the binary SCTM format (or JSON with -json).
 //
+// With -huge it instead streams a synthetic generated trace straight to
+// disk: events are encoded as they are produced and never materialized, so
+// traces far larger than memory can be generated for the out-of-core replay
+// path (-events sets the length, -pattern/-bytes/-gap the shape).
+//
 // Example:
 //
 //	tracegen -kernel fft -cores 64 -out fft64.sctm
 //	tracegen -config exp.json -capture-on electrical -out exp.sctm -json exp.json.trace
+//	tracegen -huge -events 50000000 -pattern hotspot -out huge.sctm
 package main
 
 import (
@@ -27,9 +33,19 @@ func main() {
 		captureOn = flag.String("capture-on", "ideal", "capture fabric: ideal | electrical | optical")
 		out       = flag.String("out", "trace.sctm", "output path (binary format)")
 		jsonOut   = flag.String("json", "", "optional JSON dump path")
+		huge      = flag.Bool("huge", false, "generate a synthetic trace streamed to disk instead of capturing")
+		events    = flag.Int("events", 0, "-huge: event count (default 1Mi)")
+		pattern   = flag.String("pattern", "uniform", "-huge: traffic pattern: uniform | hotspot | neighbor")
+		bytesMean = flag.Int("bytes", 64, "-huge: mean payload bytes")
+		gap       = flag.Int("gap", 20, "-huge: mean per-source think time in cycles")
 	)
 	flag.Parse()
-	err := run(*cfgPath, *kernel, *cores, *captureOn, *out, *jsonOut)
+	var err error
+	if *huge {
+		err = runHuge(*cfgPath, *cores, *events, *pattern, *bytesMean, *gap, *out)
+	} else {
+		err = run(*cfgPath, *kernel, *cores, *captureOn, *out, *jsonOut)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 	}
@@ -90,6 +106,44 @@ func run(cfgPath, kernel string, cores int, captureOn, out, jsonOut string) erro
 	if jsonOut != "" {
 		fmt.Printf("wrote %s\n", jsonOut)
 	}
+	return nil
+}
+
+// runHuge streams a generated trace to disk with O(nodes) resident memory.
+// The config contributes only the seed and (absent -cores) the node count.
+func runHuge(cfgPath string, cores, events int, pattern string, bytesMean, gap int, out string) error {
+	cfg := onocsim.DefaultConfig()
+	if cfgPath != "" {
+		var err error
+		cfg, err = onocsim.LoadConfig(cfgPath)
+		if err != nil {
+			return err
+		}
+	}
+	spec := workload.DefaultHugeSpec()
+	spec.Nodes = cfg.System.Cores
+	spec.Seed = cfg.Seed
+	if cores > 0 {
+		spec.Nodes = cores
+	}
+	if events > 0 {
+		spec.Events = events
+	}
+	spec.Pattern = pattern
+	spec.Bytes = bytesMean
+	spec.Gap = gap
+
+	makespan, err := workload.WriteHugeFile(out, spec)
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d %s events over %d nodes (ref makespan %d cycles)\n",
+		spec.Events, spec.Pattern, spec.Nodes, makespan)
+	fmt.Printf("wrote %s (%d bytes)\n", out, fi.Size())
 	return nil
 }
 

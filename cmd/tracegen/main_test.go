@@ -47,3 +47,30 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		}
 	}
 }
+
+// TestRunHugeStreamsToDisk generates a synthetic trace with the streaming
+// writer and checks it opens as a valid streaming source end to end.
+func TestRunHugeStreamsToDisk(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "huge.sctm")
+	if err := runHuge("", 8, 5000, "hotspot", 32, 10, out); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.NewFileSource(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := src.Meta()
+	if m.Nodes != 8 || m.NumEvents != 5000 {
+		t.Fatalf("meta %+v, want 8 nodes / 5000 events", m)
+	}
+	if _, err := trace.StreamAnalyze(src, trace.StreamOptions{}); err != nil {
+		t.Fatalf("generated trace does not analyze: %v", err)
+	}
+}
+
+func TestRunHugeRejectsBadPattern(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "huge.sctm")
+	if err := runHuge("", 8, 100, "zipf", 32, 10, out); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"path/filepath"
 	"testing"
 
@@ -8,7 +9,8 @@ import (
 	"onocsim/internal/trace"
 )
 
-func TestRunOnRealTrace(t *testing.T) {
+func captureToFile(t *testing.T) string {
+	t.Helper()
 	cfg := onocsim.DefaultConfig()
 	cfg.System.Cores = 16
 	cfg.Workload.Scale = 4
@@ -21,16 +23,81 @@ func TestRunOnRealTrace(t *testing.T) {
 	if err := trace.SaveFile(path, tr); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false); err != nil {
+	return path
+}
+
+func TestRunOnRealTrace(t *testing.T) {
+	path := captureToFile(t)
+	if err := run(path, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, true); err != nil {
+	if err := run(path, true, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWindowed(t *testing.T) {
+	path := captureToFile(t)
+	// Unbounded and tight-but-sufficient windows both succeed; the analysis
+	// itself is checked byte-identical in internal/trace's tests.
+	if err := run(path, false, trace.Unbounded); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, trace.DefaultWindow); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "absent.sctm"), false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "absent.sctm"), false, 0); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestReportByteIdenticalToInMemory pins the streaming report's bytes: the
+// same rendering fed an Analysis assembled from the in-memory trace methods
+// must produce the identical output, -v event list included.
+func TestReportByteIdenticalToInMemory(t *testing.T) {
+	path := captureToFile(t)
+	tr, err := trace.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.NewFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := trace.StreamAnalyze(src, trace.StreamOptions{Paths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := tr.CriticalPathReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := &trace.Analysis{
+		Meta: trace.Meta{Nodes: tr.Nodes, Workload: tr.Workload,
+			RefMakespan: tr.RefMakespan, NumEvents: len(tr.Events)},
+		Stats:              tr.ComputeStats(),
+		CriticalPath:       cp,
+		CriticalPathEvents: len(cp.Events),
+		DepthHist:          tr.DepthHistogram(),
+		MaxDepSpan:         streamed.MaxDepSpan,
+	}
+	mem.Sends, mem.Recvs = tr.NodeActivity()
+
+	for _, verbose := range []bool{false, true} {
+		var got, want bytes.Buffer
+		if err := report(&got, path, streamed, src, verbose); err != nil {
+			t.Fatal(err)
+		}
+		if err := report(&want, path, mem, trace.NewMemSource(tr), verbose); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("-v=%v: streaming report diverges from in-memory report:\n--- streaming ---\n%s\n--- in-memory ---\n%s",
+				verbose, got.String(), want.String())
+		}
 	}
 }

@@ -134,6 +134,18 @@ type Parallelism struct {
 	// not factorize per node (the wormhole mesh, the hybrid fabric) fall
 	// back to serial regardless.
 	Shards int `json:"shards"`
+	// Stream replays traces through the streaming decoder instead of
+	// materializing them in memory. Like Shards, it is an execution
+	// detail: streaming replay is byte-identical to in-memory replay, so
+	// the flag (and WindowEvents) stays out of Fingerprint and cached
+	// results remain valid whichever path produced them.
+	Stream bool `json:"stream,omitempty"`
+	// WindowEvents bounds how many decoded-but-not-yet-injectable events a
+	// streaming replay keeps resident. 0 selects the default window
+	// (trace.DefaultWindow); -1 lifts the bound. A schedule needing more
+	// residency than the window fails with an error naming the required
+	// size — never a deadlock, never a silently wrong result.
+	WindowEvents int `json:"window_events,omitempty"`
 }
 
 // System describes the CMP substrate: core count and the cache hierarchy.
@@ -567,6 +579,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Parallelism.Shards > 1<<16 {
 		return fmt.Errorf("config: parallelism.shards=%d is implausibly large", c.Parallelism.Shards)
+	}
+	if c.Parallelism.WindowEvents < -1 {
+		return fmt.Errorf("config: parallelism.window_events must be ≥ -1 (-1 = unbounded)")
+	}
+	if c.Parallelism.WindowEvents > 1<<31 {
+		return fmt.Errorf("config: parallelism.window_events=%d is implausibly large", c.Parallelism.WindowEvents)
 	}
 	return nil
 }

@@ -26,11 +26,12 @@ const fingerprintVersion = 1
 //
 // Name is deliberately excluded: it labels reports and does not influence
 // simulation results. Parallelism is excluded for the same reason — the
-// sharded engine is byte-identical to the serial one for any shard count, so
-// folding it in would only split the cache for equal results (and excluding
-// it keeps fingerprints, hence persisted disk caches, stable across the
-// setting). Everything else — seed, system geometry, all fabric parameters,
-// workload, and SCTM knobs — is included.
+// sharded engine is byte-identical to the serial one for any shard count,
+// and the streaming replay path (Stream, WindowEvents) is byte-identical to
+// the in-memory one, so folding any of them in would only split the cache
+// for equal results (and excluding them keeps fingerprints, hence persisted
+// disk caches, stable across the settings). Everything else — seed, system
+// geometry, all fabric parameters, workload, and SCTM knobs — is included.
 func (c *Config) Fingerprint() (string, error) {
 	if err := c.Validate(); err != nil {
 		return "", fmt.Errorf("config: fingerprint of invalid config: %w", err)

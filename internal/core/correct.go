@@ -139,7 +139,42 @@ func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []si
 		DisableSyncDeps:   cfg.DisableSyncDeps,
 		DisableCausalDeps: cfg.DisableCausalDeps,
 	}
-	n := len(tr.Events)
+	hooks := correctionHooks{
+		n: len(tr.Events),
+		zeroSeed: func(lat []sim.Tick) error {
+			probe := runner.probe()
+			for i := range tr.Events {
+				e := &tr.Events[i]
+				lat[i] = probe.ZeroLoadLatency(e.Src, e.Dst, e.Bytes)
+			}
+			return nil
+		},
+		schedule: func(lat []sim.Tick) ([]sim.Tick, error) {
+			return Schedule(tr, lat, opts), nil
+		},
+		run: func(inject []sim.Tick) (ReplayResult, error) {
+			return runner.run(tr, inject)
+		},
+	}
+	return correctionLoop(hooks, cfg, seed)
+}
+
+// correctionHooks abstracts the three trace-touching operations of one
+// correction loop — zero-load seeding, schedule derivation, and the replay
+// itself — so the in-memory and streaming executions share a single loop
+// body (damping, convergence criteria, iteration records) and can never
+// drift apart.
+type correctionHooks struct {
+	n        int
+	zeroSeed func(lat []sim.Tick) error
+	schedule func(lat []sim.Tick) ([]sim.Tick, error)
+	run      func(inject []sim.Tick) (ReplayResult, error)
+}
+
+// correctionLoop is the fixpoint iteration shared by SelfCorrect and its
+// streaming counterpart.
+func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (CorrectionResult, error) {
+	n := h.n
 
 	// Seed latencies: an externally supplied per-event estimate wins (the
 	// damping blend mutates lat in place, so the caller's slice is copied),
@@ -155,18 +190,17 @@ func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []si
 		for i := range lat {
 			lat[i] = sim.Tick(cfg.InitialLatencyCycles)
 		}
-	} else {
-		probe := runner.probe()
-		for i := range tr.Events {
-			e := &tr.Events[i]
-			lat[i] = probe.ZeroLoadLatency(e.Src, e.Dst, e.Bytes)
-		}
+	} else if err := h.zeroSeed(lat); err != nil {
+		return CorrectionResult{}, fmt.Errorf("core: zero-load seeding: %w", err)
 	}
 
 	var out CorrectionResult
-	prev := Schedule(tr, lat, opts)
+	prev, err := h.schedule(lat)
+	if err != nil {
+		return CorrectionResult{}, fmt.Errorf("core: deriving schedule: %w", err)
+	}
 	for round := 0; round < cfg.MaxIterations; round++ {
-		res, err := runner.run(tr, prev)
+		res, err := h.run(prev)
 		if err != nil {
 			return CorrectionResult{}, fmt.Errorf("core: correction round %d: %w", round, err)
 		}
@@ -183,7 +217,10 @@ func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []si
 		} else {
 			lat = measured
 		}
-		next := Schedule(tr, lat, opts)
+		next, err := h.schedule(lat)
+		if err != nil {
+			return CorrectionResult{}, fmt.Errorf("core: correction round %d: %w", round, err)
+		}
 		delta := MaxScheduleDelta(next, prev)
 		out.Iterations = append(out.Iterations, Iteration{
 			Round:       round,

@@ -197,7 +197,10 @@ func (p *ShardedReplayer) Replay(tr *trace.Trace, inject []sim.Tick) (ReplayResu
 		}
 	}
 
-	stats, err := mergeStats(tr, &res, inject, obs, hasObs, rank, sn, sh0.SeqOrder())
+	stats, err := mergeStats(n, func(i int) (int, noc.Class, bool) {
+		e := &tr.Events[i]
+		return e.Bytes, e.Class, e.Src == e.Dst
+	}, &res, inject, obs, hasObs, rank, sn, sh0.SeqOrder())
 	if err != nil {
 		return ReplayResult{}, err
 	}
@@ -336,7 +339,12 @@ func (r *replayShard) AdvanceTo(horizon sim.Tick) {
 //
 // Sorting all mutation records by (cycle, phase, tie-break) therefore
 // reproduces the serial mutation sequence exactly.
-func mergeStats(tr *trace.Trace, res *ReplayResult, inject []sim.Tick, obs []noc.ShardObs, hasObs []bool, rank, sn []int, seqOrder noc.SeqOrder) (*noc.Stats, error) {
+//
+// The per-event trace data it needs is tiny — payload bytes, traffic class,
+// and whether the message is node-local — so it takes an accessor instead of
+// the materialized trace: the in-memory path closes over tr.Events, the
+// streaming path over the compact arrays its pre-pass collected.
+func mergeStats(n int, ev func(i int) (bytes int, class noc.Class, self bool), res *ReplayResult, inject []sim.Tick, obs []noc.ShardObs, hasObs []bool, rank, sn []int, seqOrder noc.SeqOrder) (*noc.Stats, error) {
 	type mutOp struct {
 		cycle sim.Tick
 		phase uint8
@@ -349,15 +357,13 @@ func mergeStats(tr *trace.Trace, res *ReplayResult, inject []sim.Tick, obs []noc
 		c   int64
 		idx int
 	}
-	n := len(tr.Events)
 	ops := make([]mutOp, 0, 3*n)
-	for i := range tr.Events {
-		e := &tr.Events[i]
-		self := e.Src == e.Dst
+	for i := 0; i < n; i++ {
+		_, _, self := ev(i)
 		switch seqOrder {
 		case noc.SeqByInjection:
 			if !hasObs[i] {
-				return nil, fmt.Errorf("core: fabric recorded no shard observation for event %d", e.ID)
+				return nil, fmt.Errorf("core: fabric recorded no shard observation for event %d", i+1)
 			}
 			ops = append(ops, mutOp{cycle: res.Arrive[i], phase: 0, c: int64(rank[i]), idx: i})
 		case noc.SeqByService:
@@ -365,7 +371,7 @@ func mergeStats(tr *trace.Trace, res *ReplayResult, inject []sim.Tick, obs []noc
 				ops = append(ops, mutOp{cycle: res.Arrive[i], phase: 0, a: inject[i], b: 2, c: int64(rank[i]), idx: i})
 			} else {
 				if !hasObs[i] {
-					return nil, fmt.Errorf("core: fabric recorded no shard observation for event %d", e.ID)
+					return nil, fmt.Errorf("core: fabric recorded no shard observation for event %d", i+1)
 				}
 				ops = append(ops, mutOp{cycle: res.Arrive[i], phase: 0, a: obs[i].Start, b: 1, c: int64(sn[i]), idx: i})
 				ops = append(ops, mutOp{cycle: obs[i].Start, phase: 1, c: int64(sn[i]), idx: i})
@@ -394,15 +400,15 @@ func mergeStats(tr *trace.Trace, res *ReplayResult, inject []sim.Tick, obs []noc
 
 	stats := noc.NewStats()
 	for _, op := range ops {
-		e := &tr.Events[op.idx]
+		bytes, class, _ := ev(op.idx)
 		switch op.phase {
 		case 0:
 			lat := float64(res.Arrive[op.idx] - res.Inject[op.idx])
 			stats.Delivered++
-			stats.BytesDelivered += uint64(e.Bytes)
+			stats.BytesDelivered += uint64(bytes)
 			stats.Latency.Add(lat)
-			if e.Class < noc.NumClasses {
-				stats.PerClass[e.Class].Add(lat)
+			if class < noc.NumClasses {
+				stats.PerClass[class].Add(lat)
 			}
 			if seqOrder == noc.SeqByInjection {
 				// The ideal fabric records one "hop" per delivery.

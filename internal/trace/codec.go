@@ -1,15 +1,10 @@
 package trace
 
 import (
-	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
-
-	"onocsim/internal/noc"
-	"onocsim/internal/sim"
 )
 
 // Binary trace format
@@ -27,124 +22,52 @@ import (
 //
 // Dependency IDs are delta-encoded against the event's own ID, which keeps
 // the common "depends on a recent event" case to one or two bytes.
+//
+// Both directions have a single implementation: the streaming Reader/Writer
+// in stream.go. WriteBinary and ReadBinary below are the materialized
+// convenience forms layered on top of them.
 
 const (
 	magic         = "SCTM"
 	formatVersion = 1
 )
 
-// WriteBinary serializes the trace to w in the compact binary format.
+// WriteBinary serializes the trace to w in the compact binary format. The
+// trace is validated as it encodes — NewWriter checks the header invariants
+// and Append checks each event — so an invalid trace fails at the offending
+// record without a separate up-front Validate pass.
 func WriteBinary(w io.Writer, t *Trace) error {
-	if err := t.Validate(); err != nil {
-		return fmt.Errorf("trace: refusing to write invalid trace: %w", err)
-	}
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
-		return err
-	}
-	var buf [binary.MaxVarintLen64]byte
-	putU := func(v uint64) error {
-		n := binary.PutUvarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	if err := putU(formatVersion); err != nil {
-		return err
-	}
-	if err := putU(uint64(t.Nodes)); err != nil {
-		return err
-	}
-	if err := putU(uint64(len(t.Workload))); err != nil {
-		return err
-	}
-	if _, err := bw.WriteString(t.Workload); err != nil {
-		return err
-	}
-	if err := putU(uint64(t.RefMakespan)); err != nil {
-		return err
-	}
-	if err := putU(uint64(len(t.Events))); err != nil {
+	sw, err := NewWriter(w, Meta{
+		Nodes:       t.Nodes,
+		Workload:    t.Workload,
+		RefMakespan: t.RefMakespan,
+		NumEvents:   len(t.Events),
+	})
+	if err != nil {
 		return err
 	}
 	for i := range t.Events {
-		e := &t.Events[i]
-		for _, v := range []uint64{
-			uint64(e.Src), uint64(e.Dst), uint64(e.Bytes),
-			uint64(e.Class), uint64(e.Kind), uint64(e.Gap),
-			uint64(e.RefInject), uint64(e.RefArrive),
-			uint64(len(e.Deps)),
-		} {
-			if err := putU(v); err != nil {
-				return err
-			}
-		}
-		for _, d := range e.Deps {
-			if err := putU(uint64(e.ID - d.On)); err != nil {
-				return err
-			}
-			if err := putU(uint64(d.Class)); err != nil {
-				return err
-			}
+		if err := sw.Append(&t.Events[i]); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return sw.Close()
 }
 
-// ReadBinary deserializes a trace written by WriteBinary and validates it.
+// ReadBinary deserializes a trace written by WriteBinary. Every record is
+// validated as it decodes, so a corrupt file fails with the offending record
+// index and byte offset instead of a bare decode error.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", head)
-	}
-	getU := func(what string) (uint64, error) {
-		v, err := binary.ReadUvarint(br)
-		if err != nil {
-			return 0, fmt.Errorf("trace: reading %s: %w", what, err)
-		}
-		return v, nil
-	}
-	ver, err := getU("version")
+	sr, err := NewReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if ver != formatVersion {
-		return nil, fmt.Errorf("trace: unsupported format version %d", ver)
-	}
-	nodes, err := getU("nodes")
-	if err != nil {
-		return nil, err
-	}
-	wlen, err := getU("workload length")
-	if err != nil {
-		return nil, err
-	}
-	if wlen > 1<<16 {
-		return nil, fmt.Errorf("trace: implausible workload name length %d", wlen)
-	}
-	wl := make([]byte, wlen)
-	if _, err := io.ReadFull(br, wl); err != nil {
-		return nil, fmt.Errorf("trace: reading workload name: %w", err)
-	}
-	makespan, err := getU("makespan")
-	if err != nil {
-		return nil, err
-	}
-	nevents, err := getU("event count")
-	if err != nil {
-		return nil, err
-	}
-	if nevents > 1<<31 {
-		return nil, fmt.Errorf("trace: implausible event count %d", nevents)
-	}
+	m := sr.Meta()
 	t := &Trace{
-		Nodes:       int(nodes),
-		Workload:    string(wl),
-		RefMakespan: sim.Tick(makespan),
-		Events:      make([]Event, nevents),
+		Nodes:       m.Nodes,
+		Workload:    m.Workload,
+		RefMakespan: m.RefMakespan,
+		Events:      make([]Event, m.NumEvents),
 	}
 	// All dependency edges land in one shared arena instead of one slice
 	// allocation per event, keeping the decoder's allocation count constant
@@ -152,45 +75,19 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	// read completes: appending while handing out subslices would leave
 	// earlier events pointing into abandoned backing arrays. depCounts
 	// remembers each event's edge count for that final assignment.
-	arena := make([]Dep, 0, 2*nevents)
-	depCounts := make([]uint32, nevents)
+	arena := make([]Dep, 0, 2*m.NumEvents)
+	depCounts := make([]uint32, m.NumEvents)
 	for i := range t.Events {
-		e := &t.Events[i]
-		e.ID = EventID(i + 1)
-		fields := [9]uint64{}
-		names := [9]string{"src", "dst", "bytes", "class", "kind", "gap", "ref_inject", "ref_arrive", "ndeps"}
-		for j := range fields {
-			v, err := getU(names[j])
-			if err != nil {
-				return nil, err
-			}
-			fields[j] = v
+		ok, err := sr.Next(&t.Events[i])
+		if err != nil {
+			return nil, err
 		}
-		e.Src, e.Dst, e.Bytes = int(fields[0]), int(fields[1]), int(fields[2])
-		e.Class = noc.Class(fields[3])
-		e.Kind = Kind(fields[4])
-		e.Gap = sim.Tick(fields[5])
-		e.RefInject = sim.Tick(fields[6])
-		e.RefArrive = sim.Tick(fields[7])
-		ndeps := fields[8]
-		if ndeps > uint64(i)+1 {
-			return nil, fmt.Errorf("trace: event %d claims %d deps", e.ID, ndeps)
+		if !ok {
+			return nil, fmt.Errorf("trace: stream ended after %d of %d declared events", i, m.NumEvents)
 		}
-		depCounts[i] = uint32(ndeps)
-		for k := uint64(0); k < ndeps; k++ {
-			delta, err := getU("dep id")
-			if err != nil {
-				return nil, err
-			}
-			if delta == 0 || delta >= uint64(e.ID) {
-				return nil, fmt.Errorf("trace: event %d has invalid dep delta %d", e.ID, delta)
-			}
-			cls, err := getU("dep class")
-			if err != nil {
-				return nil, err
-			}
-			arena = append(arena, Dep{On: e.ID - EventID(delta), Class: DepClass(cls)})
-		}
+		depCounts[i] = uint32(len(t.Events[i].Deps))
+		arena = append(arena, t.Events[i].Deps...)
+		t.Events[i].Deps = nil
 	}
 	off := 0
 	for i := range t.Events {
@@ -201,9 +98,6 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 			t.Events[i].Deps = arena[off : off+n : off+n]
 		}
 		off += n
-	}
-	if err := t.Validate(); err != nil {
-		return nil, err
 	}
 	return t, nil
 }

@@ -144,31 +144,8 @@ func (t *Trace) Validate() error {
 		if e.ID != want {
 			return fmt.Errorf("trace: event %d has id %d, want %d", i, e.ID, want)
 		}
-		if e.Src < 0 || e.Src >= t.Nodes || e.Dst < 0 || e.Dst >= t.Nodes {
-			return fmt.Errorf("trace: event %d endpoints (%d->%d) out of [0,%d)", e.ID, e.Src, e.Dst, t.Nodes)
-		}
-		if e.Bytes <= 0 {
-			return fmt.Errorf("trace: event %d has non-positive size %d", e.ID, e.Bytes)
-		}
-		if e.Class >= noc.NumClasses {
-			return fmt.Errorf("trace: event %d has invalid class %d", e.ID, e.Class)
-		}
-		if e.Kind >= numKinds {
-			return fmt.Errorf("trace: event %d has invalid kind %d", e.ID, e.Kind)
-		}
-		if e.Gap < 0 {
-			return fmt.Errorf("trace: event %d has negative gap %d", e.ID, e.Gap)
-		}
-		for _, d := range e.Deps {
-			if d.On == None || d.On >= e.ID {
-				return fmt.Errorf("trace: event %d depends on non-earlier event %d", e.ID, d.On)
-			}
-			if d.Class >= numDepClasses {
-				return fmt.Errorf("trace: event %d has invalid dep class %d", e.ID, d.Class)
-			}
-		}
-		if e.RefArrive < e.RefInject {
-			return fmt.Errorf("trace: event %d arrives (%d) before injection (%d)", e.ID, e.RefArrive, e.RefInject)
+		if err := validateEvent(t.Nodes, e); err != nil {
+			return err
 		}
 	}
 	if t.RefMakespan < 0 {

@@ -1,0 +1,290 @@
+package onocsim
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"onocsim/internal/noc"
+	"onocsim/internal/sim"
+	"onocsim/internal/trace"
+)
+
+// traceOnDisk round-trips a trace through the binary format and opens it as a
+// streaming file source, so equivalence tests exercise the real out-of-core
+// path (decode from disk, not a memory adapter).
+func traceOnDisk(t *testing.T, tr *Trace) TraceSource {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.sctm")
+	if err := SaveTrace(path, tr); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	src, err := OpenTraceFile(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return src
+}
+
+// TestStreamInvarianceNaiveReplay locks in the tentpole contract: streaming
+// replay — from memory or from disk, serial or sharded — returns results
+// byte-identical to the in-memory engine for every fabric family.
+func TestStreamInvarianceNaiveReplay(t *testing.T) {
+	for _, tc := range shardCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tr, _, err := CaptureTrace(tc.cfg, IdealNet)
+			if err != nil {
+				t.Fatalf("capture: %v", err)
+			}
+			serial, _, err := RunNaiveReplay(tc.cfg, tr, tc.kind)
+			if err != nil {
+				t.Fatalf("serial replay: %v", err)
+			}
+			file := traceOnDisk(t, tr)
+			for _, k := range []int{1, 2, 8} {
+				cfg := tc.cfg
+				cfg.Parallelism.Shards = k
+				cfg.Parallelism.Stream = true
+				for _, src := range []struct {
+					name string
+					src  TraceSource
+				}{{"mem", MemTraceSource(tr)}, {"file", file}} {
+					got, _, err := RunNaiveReplayStream(cfg, src.src, tc.kind)
+					if err != nil {
+						t.Fatalf("shards=%d %s: %v", k, src.name, err)
+					}
+					replaysEqual(t, tc.name+"/"+src.name, got, serial)
+					if !reflect.DeepEqual(got.NetStats, serial.NetStats) {
+						t.Errorf("shards=%d %s: fabric statistics diverge\n got: %+v\nwant: %+v",
+							k, src.name, got.NetStats, serial.NetStats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamInvarianceSelfCorrection asserts the whole correction trajectory
+// is identical when every round streams from disk instead of replaying a
+// materialized trace.
+func TestStreamInvarianceSelfCorrection(t *testing.T) {
+	for _, tc := range shardCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tr, _, err := CaptureTrace(tc.cfg, IdealNet)
+			if err != nil {
+				t.Fatalf("capture: %v", err)
+			}
+			serial, _, err := RunSelfCorrection(tc.cfg, tr, tc.kind)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			file := traceOnDisk(t, tr)
+			for _, k := range []int{1, 8} {
+				cfg := tc.cfg
+				cfg.Parallelism.Shards = k
+				cfg.Parallelism.Stream = true
+				got, _, err := RunSelfCorrectionStream(cfg, file, tc.kind)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", k, err)
+				}
+				if !reflect.DeepEqual(got.Iterations, serial.Iterations) {
+					t.Errorf("shards=%d: iteration trajectories diverge:\n stream: %+v\n serial: %+v",
+						k, got.Iterations, serial.Iterations)
+				}
+				replaysEqual(t, tc.name, got.Final, serial.Final)
+				if got.Converged != serial.Converged {
+					t.Errorf("shards=%d: converged %v, want %v", k, got.Converged, serial.Converged)
+				}
+				if got.TotalCycles != serial.TotalCycles {
+					t.Errorf("shards=%d: total cycles %d, want %d", k, got.TotalCycles, serial.TotalCycles)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamSummaryMatchesReplay checks the constant-residency tier: summary
+// fields equal the full replay's on the same fabric.
+func TestStreamSummaryMatchesReplay(t *testing.T) {
+	cfg := smallConfig()
+	tr, _, err := CaptureTrace(cfg, IdealNet)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	full, _, err := RunNaiveReplay(cfg, tr, IdealNet)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	sum, _, err := RunNaiveReplaySummary(cfg, traceOnDisk(t, tr), IdealNet)
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if sum.Events != len(tr.Events) {
+		t.Errorf("events %d, want %d", sum.Events, len(tr.Events))
+	}
+	if sum.Makespan != full.Makespan {
+		t.Errorf("makespan %d, want %d", sum.Makespan, full.Makespan)
+	}
+	if sum.MeanLatency != full.MeanLatency {
+		t.Errorf("mean latency %g, want %g", sum.MeanLatency, full.MeanLatency)
+	}
+	if sum.Cycles != full.Cycles {
+		t.Errorf("cycles %d, want %d", sum.Cycles, full.Cycles)
+	}
+	if !reflect.DeepEqual(sum.NetStats, full.NetStats) {
+		t.Errorf("fabric statistics diverge\n got: %+v\nwant: %+v", sum.NetStats, full.NetStats)
+	}
+}
+
+// holdoutTrace needs more than n/2 events resident at once: the first half of
+// the stream injects late (t=500+), the second half early (t=0+), so reaching
+// the first due event forces the decoder to hold the entire late block.
+func holdoutTrace(n int) *Trace {
+	tr := &Trace{Nodes: 4, Workload: "holdout", RefMakespan: sim.Tick(1000 + 10*n)}
+	for i := 0; i < n; i++ {
+		at := sim.Tick(500 + i)
+		if i >= n/2 {
+			at = sim.Tick(i - n/2)
+		}
+		tr.Events = append(tr.Events, trace.Event{
+			ID: trace.EventID(i + 1), Src: 0, Dst: 1, Bytes: 8,
+			Class: noc.ClassRequest, Kind: trace.KindData,
+			Gap: 1, RefInject: at, RefArrive: at + 5,
+		})
+	}
+	return tr
+}
+
+// TestStreamWindowTooSmallErrors pins the window-cap contract: a schedule that
+// needs more resident events than the window fails loudly and immediately —
+// no deadlock, no silent reorder.
+func TestStreamWindowTooSmallErrors(t *testing.T) {
+	tr := holdoutTrace(10)
+	cfg := smallConfig()
+	cfg.System.Cores = 4
+	cfg.Parallelism.Stream = true
+	cfg.Parallelism.WindowEvents = 4
+
+	if _, _, err := RunNaiveReplayStream(cfg, MemTraceSource(tr), IdealNet); err == nil {
+		t.Fatal("undersized window accepted")
+	}
+
+	// The same trace replays fine once the window covers the holdout span.
+	cfg.Parallelism.WindowEvents = 10
+	got, _, err := RunNaiveReplayStream(cfg, MemTraceSource(tr), IdealNet)
+	if err != nil {
+		t.Fatalf("sufficient window: %v", err)
+	}
+	want, _, err := RunNaiveReplay(cfg, tr, IdealNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaysEqual(t, "holdout", got, want)
+}
+
+// TestStreamDegenerateTraces pins the edge cases: an empty trace and a
+// single-source chain replay identically through every engine tier.
+func TestStreamDegenerateTraces(t *testing.T) {
+	cfg := smallConfig()
+	cfg.System.Cores = 4
+	for _, tc := range []struct {
+		name string
+		tr   *Trace
+	}{
+		{"empty", &Trace{Nodes: 4, Workload: "empty", RefMakespan: 100}},
+		{"single-source", singleSourceChain(40)},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			want, _, err := RunNaiveReplay(cfg, tc.tr, IdealNet)
+			if err != nil {
+				t.Fatalf("in-memory: %v", err)
+			}
+			for _, k := range []int{1, 2, 8} {
+				c := cfg
+				c.Parallelism.Shards = k
+				c.Parallelism.Stream = true
+				got, _, err := RunNaiveReplayStream(c, MemTraceSource(tc.tr), IdealNet)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", k, err)
+				}
+				replaysEqual(t, tc.name, got, want)
+			}
+			sum, _, err := RunNaiveReplaySummary(cfg, MemTraceSource(tc.tr), IdealNet)
+			if err != nil {
+				t.Fatalf("summary: %v", err)
+			}
+			if sum.Makespan != want.Makespan || sum.Cycles != want.Cycles || sum.MeanLatency != want.MeanLatency {
+				t.Errorf("summary (%d, %d, %g), want (%d, %d, %g)",
+					sum.Makespan, sum.Cycles, sum.MeanLatency, want.Makespan, want.Cycles, want.MeanLatency)
+			}
+		})
+	}
+}
+
+// singleSourceChain is one node sending a strict program-order chain: every
+// event depends on its predecessor, all traffic from node 0.
+func singleSourceChain(n int) *Trace {
+	tr := &Trace{Nodes: 4, Workload: "chain", RefMakespan: sim.Tick(10 * n)}
+	for i := 0; i < n; i++ {
+		e := trace.Event{
+			ID: trace.EventID(i + 1), Src: 0, Dst: 1 + i%3, Bytes: 16,
+			Class: noc.ClassRequest, Kind: trace.KindData,
+			Gap: 2, RefInject: sim.Tick(3 * i), RefArrive: sim.Tick(3*i + 7),
+		}
+		if i > 0 {
+			e.Deps = []trace.Dep{{On: trace.EventID(i), Class: trace.DepProgram}}
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	return tr
+}
+
+// TestStreamExcludedFromFingerprint extends the cache-compatibility contract
+// to the streaming knobs: an execution detail that cannot change results must
+// not split the result-memo or disk-cache key space.
+func TestStreamExcludedFromFingerprint(t *testing.T) {
+	base := smallConfig()
+	fp0, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct {
+		stream bool
+		window int
+	}{{true, 0}, {true, 1 << 12}, {false, 1 << 20}, {true, -1}} {
+		cfg := base
+		cfg.Parallelism.Stream = p.stream
+		cfg.Parallelism.WindowEvents = p.window
+		fp, err := cfg.Fingerprint()
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if fp != fp0 {
+			t.Errorf("%+v changes fingerprint: %s vs %s", p, fp, fp0)
+		}
+	}
+}
+
+// TestStreamWindowValidation checks the WindowEvents bounds in Config.Validate.
+func TestStreamWindowValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Parallelism.WindowEvents = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("window below -1 accepted")
+	}
+	cfg.Parallelism.WindowEvents = 1 << 32
+	if err := cfg.Validate(); err == nil {
+		t.Error("implausible window accepted")
+	}
+	for _, w := range []int{-1, 0, 1 << 16} {
+		cfg.Parallelism.WindowEvents = w
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("window=%d rejected: %v", w, err)
+		}
+	}
+}
