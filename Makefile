@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check check test test-race bench bench-json bench-mem report report-csv experiments-md examples clean
+.PHONY: all build vet fmt-check check test test-race bench bench-json bench-mem bench-incr report report-csv experiments-md examples clean
 
 all: build vet test test-race
 
@@ -31,10 +31,13 @@ test: vet
 # The serial simulators are single-goroutine by design; the race detector
 # guards the experiment harness's concurrent study fan-out, the sharded
 # conservative-lookahead engine (barrier protocol in internal/sim, shard
-# partition/merge in internal/core), the streaming decoders feeding
-# per-shard runners (internal/trace sources hand out concurrent passes),
-# the fault injector's lazily extended per-channel timelines under sharded
-# replay, and the analytic estimator's shared probe cache.
+# partition/merge in internal/core), the incremental correction loop's
+# per-shard checkpoint ladders (capture and restore run inside the shard
+# goroutines; internal/core's incremental tests cover every fabric ×
+# preset × shard count), the streaming decoders feeding per-shard runners
+# (internal/trace sources hand out concurrent passes), the fault
+# injector's lazily extended per-channel timelines under sharded replay,
+# and the analytic estimator's shared probe cache.
 test-race:
 	$(GO) test -race ./internal/analytic/ ./internal/experiments/ ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/trace/ .
 
@@ -52,10 +55,21 @@ bench:
 # benchmark a shot at a fast phase, where `-count=N` repeats land
 # back-to-back inside a single phase. Override the variables to
 # re-baseline, e.g. `make bench-json BENCH_OUT=tmp.json BENCH_BASE=BENCH_PR6.json`.
-BENCH_OUT ?= BENCH_PR7.json
-BENCH_BASE ?= BENCH_PR6.json
+# BENCH_TOLERANCE loosens the timing threshold on a noisy host
+# (`BENCH_TOLERANCE=40 make bench-json`); the counter gates stay strict.
+BENCH_OUT ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR7.json
+BENCH_TOLERANCE ?= 25
 bench-json:
-	for i in 1 2 3; do $(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ || exit 1; done | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress 25
+	for i in 1 2 3; do $(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ || exit 1; done | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress $(BENCH_TOLERANCE)
+
+# Incremental-correction snapshot: just the full-vs-incremental benchmark
+# family, folded into $(BENCH_OUT) against $(BENCH_BASE). The gate leans on
+# the deterministic counters — the replayed-events metric and allocs/op don't
+# move with host load — while the timing threshold stays overridable via
+# BENCH_TOLERANCE for noisy hosts.
+bench-incr:
+	for i in 1 2 3; do $(GO) test -run '^$$' -bench 'SelfCorrectIncremental|SelfCorrection$$' -benchmem . || exit 1; done | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress $(BENCH_TOLERANCE)
 
 # Memory-focused snapshot: just the RSS/overhead benchmark family, folded
 # into the same $(BENCH_OUT) gate. The max-rss-bytes rows are what pin the
@@ -63,7 +77,7 @@ bench-json:
 # three passes to each row's minimum and fails if residency (or time)
 # regresses beyond the limit vs $(BENCH_BASE).
 bench-mem:
-	for i in 1 2 3; do $(GO) test -run '^$$' -bench 'RSS|NaiveReplayStream|NaiveReplayInMemory' -benchmem . || exit 1; done | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress 25
+	for i in 1 2 3; do $(GO) test -run '^$$' -bench 'RSS|NaiveReplayStream|NaiveReplayInMemory' -benchmem . || exit 1; done | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress $(BENCH_TOLERANCE)
 
 # Regenerate the full evaluation (R1–R19) at paper scale.
 report:

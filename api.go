@@ -306,6 +306,13 @@ func RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, ti
 // estimate instead of the zero-load probe, typically saving replay rounds
 // on contended fabrics; when the estimator declines, the loop falls back to
 // zero-load seeding.
+//
+// With cfg.SCTM.Incremental each round after the first resumes from a
+// frozen-prefix checkpoint of the previous round instead of replaying from
+// cycle zero; results stay byte-identical, and
+// CorrectionResult.ReplayedEvents/SavedCycles report the work skipped. The
+// streaming path (cfg.Parallelism.Stream) keeps no fabric checkpoints —
+// resident memory is its whole point — and ignores the flag.
 func RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
 	factory, err := NetworkFactory(cfg, kind)
 	if err != nil {

@@ -35,7 +35,7 @@ BenchmarkHot-8  100  1900 ns/op
 
 func TestRunWritesSnapshot(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(strings.NewReader(benchOutput), out, "", 0, false); err != nil {
+	if err := run(strings.NewReader(benchOutput), out, "", 0, 5, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -56,7 +56,7 @@ func TestRunWritesSnapshot(t *testing.T) {
 func TestRunExitCodes(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")
-	if err := run(strings.NewReader(benchOutput), base, "", 0, false); err != nil {
+	if err := run(strings.NewReader(benchOutput), base, "", 0, 5, false); err != nil {
 		t.Fatal(err)
 	}
 	regressed := strings.ReplaceAll(benchOutput, "9000 ns/op", "90000 ns/op")
@@ -65,10 +65,10 @@ func TestRunExitCodes(t *testing.T) {
 		err  error
 		want int
 	}{
-		{"negative maxregress", run(strings.NewReader(benchOutput), "", "", -1, false), 2},
-		{"empty stdin", run(strings.NewReader(""), "", "", 0, false), 1},
-		{"missing baseline", run(strings.NewReader(benchOutput), "", filepath.Join(dir, "absent.json"), 0, false), 1},
-		{"regression gate", run(strings.NewReader(regressed), filepath.Join(dir, "out.json"), base, 25, false), 1},
+		{"negative maxregress", run(strings.NewReader(benchOutput), "", "", -1, 5, false), 2},
+		{"empty stdin", run(strings.NewReader(""), "", "", 0, 5, false), 1},
+		{"missing baseline", run(strings.NewReader(benchOutput), "", filepath.Join(dir, "absent.json"), 0, 5, false), 1},
+		{"regression gate", run(strings.NewReader(regressed), filepath.Join(dir, "out.json"), base, 25, 5, false), 1},
 	}
 	for _, tc := range cases {
 		if tc.err == nil {
@@ -85,11 +85,11 @@ func TestRunExitCodes(t *testing.T) {
 func TestRunGatePasses(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")
-	if err := run(strings.NewReader(benchOutput), base, "", 0, false); err != nil {
+	if err := run(strings.NewReader(benchOutput), base, "", 0, 5, false); err != nil {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out.json")
-	if err := run(strings.NewReader(benchOutput), out, base, 25, false); err != nil {
+	if err := run(strings.NewReader(benchOutput), out, base, 25, 5, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -162,12 +162,12 @@ func TestRSSGate(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")
 	baseRun := "BenchmarkStream-8  10  2000 ns/op  1000000 max-rss-bytes\n"
-	if err := run(strings.NewReader(baseRun), base, "", 0, false); err != nil {
+	if err := run(strings.NewReader(baseRun), base, "", 0, 5, false); err != nil {
 		t.Fatal(err)
 	}
 	// Faster but 3x the residency: must trip the gate.
 	bloated := "BenchmarkStream-8  10  1000 ns/op  3000000 max-rss-bytes\n"
-	err := run(strings.NewReader(bloated), filepath.Join(dir, "out.json"), base, 25, false)
+	err := run(strings.NewReader(bloated), filepath.Join(dir, "out.json"), base, 25, 5, false)
 	if err == nil {
 		t.Fatal("RSS regression passed the gate")
 	}
@@ -176,7 +176,7 @@ func TestRSSGate(t *testing.T) {
 	}
 	// Same residency within the limit passes.
 	ok := "BenchmarkStream-8  10  1000 ns/op  1100000 max-rss-bytes\n"
-	if err := run(strings.NewReader(ok), filepath.Join(dir, "out2.json"), base, 25, false); err != nil {
+	if err := run(strings.NewReader(ok), filepath.Join(dir, "out2.json"), base, 25, 25, false); err != nil {
 		t.Fatalf("in-limit run failed the gate: %v", err)
 	}
 }
@@ -195,5 +195,131 @@ func TestTableRendersMemoryColumns(t *testing.T) {
 	s := buf.String()
 	if !strings.Contains(s, "max RSS") || !strings.Contains(s, "4096") {
 		t.Fatalf("table missing memory column:\n%s", s)
+	}
+}
+
+// TestCounterGate pins the counter-first gating: allocation regressions trip
+// the strict -counterregress threshold even when timing is inside the loose
+// timing tolerance (or improved outright), and the +2 absolute grace keeps
+// one stray pool miss on a tiny benchmark from flapping.
+func TestCounterGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	baseRun := "BenchmarkHot-8  100  1000 ns/op  64 B/op  100 allocs/op\n"
+	if err := run(strings.NewReader(baseRun), base, "", 0, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	// Faster, but 20% more allocations: the counter gate must fire.
+	bloated := "BenchmarkHot-8  100  800 ns/op  64 B/op  120 allocs/op\n"
+	err := run(strings.NewReader(bloated), filepath.Join(dir, "out.json"), base, 50, 5, false)
+	if err == nil {
+		t.Fatal("allocation regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("gate error does not name allocs/op: %v", err)
+	}
+	// Ten times slower but allocation-identical: with timing gating disabled
+	// the counters alone decide, and they pass.
+	slow := "BenchmarkHot-8  100  10000 ns/op  64 B/op  100 allocs/op\n"
+	if err := run(strings.NewReader(slow), filepath.Join(dir, "out2.json"), base, 0, 5, false); err != nil {
+		t.Fatalf("counter-clean slow run failed the gate: %v", err)
+	}
+	// A tiny benchmark gaining a single allocation is >5% but inside the
+	// absolute grace.
+	tinyBase := filepath.Join(dir, "tiny.json")
+	if err := run(strings.NewReader("BenchmarkTiny-8  100  1000 ns/op  8 B/op  2 allocs/op\n"), tinyBase, "", 0, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	oneMore := "BenchmarkTiny-8  100  1000 ns/op  8 B/op  3 allocs/op\n"
+	if err := run(strings.NewReader(oneMore), filepath.Join(dir, "out3.json"), tinyBase, 0, 5, false); err != nil {
+		t.Fatalf("one-alloc jitter tripped the gate: %v", err)
+	}
+}
+
+// TestAllocsPerEventGate checks the per-event allocation counter gates under
+// the strict threshold too.
+func TestAllocsPerEventGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := run(strings.NewReader("BenchmarkStream-8  10  2000 ns/op  3.00 allocs/event\n"), base, "", 0, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	err := run(strings.NewReader("BenchmarkStream-8  10  2000 ns/op  4.00 allocs/event\n"), filepath.Join(dir, "out.json"), base, 0, 5, false)
+	if err == nil || !strings.Contains(err.Error(), "allocs/event") {
+		t.Fatalf("allocs/event regression not gated: %v", err)
+	}
+}
+
+// TestParseMinAllocsAcrossRepeats pins that allocs/op collapses to the
+// minimum across -count repeats independently of which repeat was fastest.
+func TestParseMinAllocsAcrossRepeats(t *testing.T) {
+	out := `BenchmarkHot-8  100  1500 ns/op  64 B/op  110 allocs/op
+BenchmarkHot-8  100  1200 ns/op  64 B/op  118 allocs/op
+`
+	res, _, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res["BenchmarkHot"]
+	if r.NsPerOp != 1200 || r.AllocsPerOp != 110 {
+		t.Fatalf("got %v ns/op, %d allocs/op; want fastest time 1200 with min allocs 110", r.NsPerOp, r.AllocsPerOp)
+	}
+}
+
+// TestTimingTolerance pins the BENCH_TOLERANCE resolution order: explicit
+// flag > environment > flag default, with malformed values as usage errors.
+func TestTimingTolerance(t *testing.T) {
+	if got, err := timingTolerance(25, false, ""); err != nil || got != 25 {
+		t.Fatalf("default: %v, %v", got, err)
+	}
+	if got, err := timingTolerance(25, false, "40"); err != nil || got != 40 {
+		t.Fatalf("env override: %v, %v", got, err)
+	}
+	if got, err := timingTolerance(25, true, "40"); err != nil || got != 25 {
+		t.Fatalf("explicit flag must win: %v, %v", got, err)
+	}
+	for _, bad := range []string{"wide", "-3"} {
+		if _, err := timingTolerance(25, false, bad); err == nil {
+			t.Errorf("BENCH_TOLERANCE=%q accepted", bad)
+		} else if cliutil.ExitCode(err) != 2 {
+			t.Errorf("BENCH_TOLERANCE=%q: exit %d, want 2", bad, cliutil.ExitCode(err))
+		}
+	}
+}
+
+// TestParseRecordsGOMAXPROCS checks the env map carries the run's
+// GOMAXPROCS, taken from the benchmark-name suffix, so cross-host snapshot
+// comparisons are self-describing.
+func TestParseRecordsGOMAXPROCS(t *testing.T) {
+	_, env, err := parse(strings.NewReader("cpu: Example CPU @ 2.00GHz\nBenchmarkHot-8  100  1000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["gomaxprocs"] != "8" {
+		t.Fatalf("gomaxprocs = %q, want 8", env["gomaxprocs"])
+	}
+	if env["cpu"] != "Example CPU @ 2.00GHz" {
+		t.Fatalf("cpu = %q", env["cpu"])
+	}
+}
+
+// TestSnapshotRecordsGOMAXPROCSWithoutSuffix pins the single-CPU fallback:
+// go test omits the -N benchmark-name suffix when GOMAXPROCS is 1, so run
+// fills the field from its own process, which shares the pipeline's host.
+func TestSnapshotRecordsGOMAXPROCSWithoutSuffix(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader("BenchmarkBare  100  1000 ns/op\n"), out, "", 0, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Env["gomaxprocs"] == "" {
+		t.Fatal("snapshot env missing gomaxprocs")
 	}
 }

@@ -50,6 +50,7 @@ func main() {
 		parallel   = flag.Bool("parallel", false, "fan experiments out concurrently, deduplicating shared simulations (tables are byte-identical apart from wall-clock cells)")
 		cachedir   = flag.String("cachedir", "", "persist captured traces here and reload them across invocations (implies result memoization)")
 		shards     = flag.Int("shards", 0, "shard count for replay-family simulations (0: one per CPU; tables are identical for any count)")
+		incr       = flag.Bool("incremental", false, "resume self-correction rounds from frozen-prefix checkpoints (tables are identical apart from wall-clock and replayed-events cells)")
 		faults     = flag.String("faults", "", "run the kernel experiments under this fault preset: off | light | heavy (R18 sweeps all presets regardless)")
 		seedMode   = flag.String("seedmode", "", "self-correction round-0 seeding for the kernel experiments: zeroload | analytic | fixed (R19 compares the modes regardless); -seed stays the RNG seed")
 		progress   = flag.Bool("progress", false, "stream experiment and simulation progress to stderr")
@@ -66,7 +67,7 @@ func main() {
 	if *shards == 0 {
 		*shards = runtime.NumCPU()
 	}
-	opts := experiments.Options{Seed: *seed, Cores: *cores, Quick: *quick, Parallel: *parallel, Shards: *shards, SeedMode: *seedMode}
+	opts := experiments.Options{Seed: *seed, Cores: *cores, Quick: *quick, Parallel: *parallel, Shards: *shards, SeedMode: *seedMode, Incremental: *incr}
 	if *progress {
 		opts.Progress = &progressLogger{w: os.Stderr}
 	}

@@ -36,6 +36,7 @@ func main() {
 		dumpConfig = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
 		shards     = flag.Int("shards", 0, "shard count for replay-family simulations (0: one per CPU, capped at the core count; results are identical for any count)")
 		stream     = flag.Bool("stream", false, "run replay-family simulations on the streaming out-of-core decoder (results are identical)")
+		incr       = flag.Bool("incremental", false, "resume self-correction rounds from frozen-prefix checkpoints instead of replaying from cycle zero (results are identical; ignored by -stream)")
 		window     = flag.Int("window", 0, "streaming read-ahead window in events (0: default 64Ki, -1: unbounded)")
 		seedMode   = flag.String("seed", "", "self-correction round-0 seeding: zeroload | analytic | fixed (default: keep the config file's sctm.seed)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -44,7 +45,7 @@ func main() {
 	flag.Parse()
 	stop, err := prof.Start(*cpuprofile, *memprofile)
 	if err == nil {
-		err = run(*cfgPath, *network, *mode, *format, *faults, *seedMode, *dumpConfig, *shards, *stream, *window)
+		err = run(*cfgPath, *network, *mode, *format, *faults, *seedMode, *dumpConfig, *shards, *stream, *incr, *window)
 	}
 	if perr := stop(); err == nil {
 		err = perr
@@ -55,7 +56,7 @@ func main() {
 	os.Exit(cliutil.ExitCode(err))
 }
 
-func run(cfgPath, network, mode, format, faults, seedMode string, dumpConfig bool, shards int, stream bool, window int) error {
+func run(cfgPath, network, mode, format, faults, seedMode string, dumpConfig bool, shards int, stream, incr bool, window int) error {
 	if format != "ascii" && format != "json" {
 		return cliutil.Usagef("unknown format %q (want ascii or json)", format)
 	}
@@ -101,6 +102,11 @@ func run(cfgPath, network, mode, format, faults, seedMode string, dumpConfig boo
 	}
 	if window != 0 {
 		cfg.Parallelism.WindowEvents = window
+	}
+	// Incremental correction, like sharding and streaming, never changes
+	// results — it only skips re-simulating each round's frozen prefix.
+	if incr {
+		cfg.SCTM.Incremental = true
 	}
 
 	if dumpConfig {
@@ -158,7 +164,8 @@ func run(cfgPath, network, mode, format, faults, seedMode string, dumpConfig boo
 			metrics.Float(study.Coupled.MeanLatency, 1, "cycles"), metrics.DurationText(study.CoupledWall))
 		t.Note("trace: %d events captured on the %s fabric in %s",
 			study.Trace.NumEvents(), config.NetIdeal, study.CaptureWall)
-		t.Note("self-correction: %d rounds, converged=%v", len(study.SCTM.Iterations), study.SCTM.Converged)
+		t.Note("self-correction: %d rounds, converged=%v, %d events replayed (%d cycles skipped by checkpoints)",
+			len(study.SCTM.Iterations), study.SCTM.Converged, study.SCTM.ReplayedEvents, study.SCTM.SavedCycles)
 
 	default:
 		return fmt.Errorf("unknown mode %q (want exec or study)", mode)

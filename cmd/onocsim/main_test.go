@@ -24,7 +24,7 @@ func smallCfgFile(t *testing.T) string {
 
 func TestRunExecMode(t *testing.T) {
 	for _, network := range []string{"ideal", "electrical", "optical"} {
-		if err := run(smallCfgFile(t), network, "exec", "ascii", "", "", false, 0, false, 0); err != nil {
+		if err := run(smallCfgFile(t), network, "exec", "ascii", "", "", false, 0, false, false, 0); err != nil {
 			t.Fatalf("exec on %s: %v", network, err)
 		}
 	}
@@ -32,39 +32,45 @@ func TestRunExecMode(t *testing.T) {
 
 func TestRunExecModeFaulted(t *testing.T) {
 	for _, preset := range []string{"light", "heavy"} {
-		if err := run(smallCfgFile(t), "optical", "exec", "ascii", preset, "", false, 0, false, 0); err != nil {
+		if err := run(smallCfgFile(t), "optical", "exec", "ascii", preset, "", false, 0, false, false, 0); err != nil {
 			t.Fatalf("faulted exec (%s): %v", preset, err)
 		}
 	}
 }
 
 func TestRunStudyMode(t *testing.T) {
-	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 0, false, 0); err != nil {
+	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 0, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStudyModeSharded(t *testing.T) {
-	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 4, false, 0); err != nil {
+	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 4, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStudyModeStreaming(t *testing.T) {
-	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 2, true, 1<<12); err != nil {
+	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 2, true, false, 1<<12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStudyModeIncremental(t *testing.T) {
+	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 0, false, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSONFormats(t *testing.T) {
 	cfgPath := smallCfgFile(t)
-	if err := run(cfgPath, "optical", "exec", "json", "", "", false, 0, false, 0); err != nil {
+	if err := run(cfgPath, "optical", "exec", "json", "", "", false, 0, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfgPath, "optical", "study", "json", "", "", false, 0, false, 0); err != nil {
+	if err := run(cfgPath, "optical", "study", "json", "", "", false, 0, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfgPath, "optical", "exec", "yaml", "", "", false, 0, false, 0); err == nil {
+	if err := run(cfgPath, "optical", "exec", "yaml", "", "", false, 0, false, false, 0); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }
@@ -79,12 +85,12 @@ func TestRunExitCodes(t *testing.T) {
 		err  error
 		want int
 	}{
-		{"unknown mode", run(cfgPath, "optical", "teleport", "ascii", "", "", false, 0, false, 0), 2},
-		{"unknown network", run(cfgPath, "warp", "exec", "ascii", "", "", false, 0, false, 0), 2},
-		{"unknown format", run(cfgPath, "optical", "exec", "yaml", "", "", false, 0, false, 0), 2},
-		{"unknown faults preset", run(cfgPath, "optical", "exec", "ascii", "catastrophic", "", false, 0, false, 0), 2},
-		{"unknown seed mode", run(cfgPath, "optical", "exec", "ascii", "", "entrails", false, 0, false, 0), 1},
-		{"missing config", run(filepath.Join(t.TempDir(), "nope.json"), "optical", "exec", "ascii", "", "", false, 0, false, 0), 1},
+		{"unknown mode", run(cfgPath, "optical", "teleport", "ascii", "", "", false, 0, false, false, 0), 2},
+		{"unknown network", run(cfgPath, "warp", "exec", "ascii", "", "", false, 0, false, false, 0), 2},
+		{"unknown format", run(cfgPath, "optical", "exec", "yaml", "", "", false, 0, false, false, 0), 2},
+		{"unknown faults preset", run(cfgPath, "optical", "exec", "ascii", "catastrophic", "", false, 0, false, false, 0), 2},
+		{"unknown seed mode", run(cfgPath, "optical", "exec", "ascii", "", "entrails", false, 0, false, false, 0), 1},
+		{"missing config", run(filepath.Join(t.TempDir(), "nope.json"), "optical", "exec", "ascii", "", "", false, 0, false, false, 0), 1},
 	}
 	for _, tc := range cases {
 		if tc.err == nil {

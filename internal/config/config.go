@@ -326,6 +326,14 @@ type SCTM struct {
 	// The empty default is deliberately excluded from Fingerprint so cached
 	// results from earlier schema versions stay addressable.
 	Seed string `json:"seed,omitempty"`
+	// Incremental resumes each correction round from a frozen-prefix
+	// checkpoint of the previous round instead of replaying from cycle
+	// zero. It is a pure execution detail: results are byte-identical
+	// either way (only the ReplayedEvents/SavedCycles work counters
+	// differ), so — like Parallelism — it is excluded from Fingerprint
+	// and cached results remain addressable from both modes. The
+	// streaming (out-of-core) replay path ignores it.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // SeedMode is the effective seeding strategy after resolving the legacy

@@ -83,6 +83,9 @@ func (c *Config) Fingerprint() (string, error) {
 	w.f64(t.Damping)
 	w.f64(t.MakespanTolerance)
 	w.bools(t.DisableSyncDeps, t.DisableCausalDeps)
+	// SCTM.Incremental is deliberately NOT hashed: like Parallelism, it is a
+	// pure execution detail — the incremental loop is byte-identical to the
+	// full-replay loop — so both modes address the same cached result.
 
 	w.str(string(c.Network))
 	w.i64s(c.MaxCycles)

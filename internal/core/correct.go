@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 
 	"onocsim/internal/config"
 	"onocsim/internal/noc"
+	"onocsim/internal/prof"
 	"onocsim/internal/sim"
 	"onocsim/internal/trace"
 )
@@ -68,6 +72,16 @@ type CorrectionResult struct {
 	// TotalCycles sums fabric cycles across all rounds — the simulation
 	// cost the R2 experiment charges to the method.
 	TotalCycles sim.Tick
+	// ReplayedEvents counts injections actually performed across all
+	// rounds. A full-replay loop performs len(tr.Events) per round;
+	// incremental rounds resume from frozen-prefix checkpoints and inject
+	// only the dirty suffix, so the gap between this and
+	// len(tr.Events)×len(Iterations) is the work the checkpointing saved.
+	ReplayedEvents int
+	// SavedCycles sums the fabric cycles skipped by checkpoint restores
+	// (each restore at time t0 saves the t0 cycles of frozen prefix it
+	// would otherwise re-simulate). Zero for full-replay loops.
+	SavedCycles sim.Tick
 }
 
 // roundRunner abstracts how one correction round's replay is executed: the
@@ -109,8 +123,17 @@ func SelfCorrect(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM) (Corr
 // one from the trace's byte histogram). A nil seed reproduces SelfCorrect
 // exactly; a non-nil seed takes precedence over both InitialLatencyCycles
 // and the zero-load probe. The seed slice is copied, never mutated.
+//
+// cfg.Incremental selects frozen-prefix checkpointing between rounds:
+// results stay byte-identical (only ReplayedEvents/SavedCycles differ), the
+// later rounds just skip re-simulating the schedule prefix that did not
+// change.
 func SelfCorrectSeeded(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM, seed []sim.Tick) (CorrectionResult, error) {
-	return selfCorrect(&serialRounds{src: netSource{factory: factory}}, tr, cfg, seed)
+	var runner roundRunner = &serialRounds{src: netSource{factory: factory}}
+	if cfg.Incremental {
+		runner = newIncrSerial(factory)
+	}
+	return selfCorrect(runner, tr, cfg, seed)
 }
 
 // SelfCorrectSharded is SelfCorrect with each round's replay executed across
@@ -127,6 +150,9 @@ func SelfCorrectSharded(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM
 func SelfCorrectShardedSeeded(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM, shards int, seed []sim.Tick) (CorrectionResult, error) {
 	if shards <= 1 {
 		return SelfCorrectSeeded(factory, tr, cfg, seed)
+	}
+	if cfg.Incremental {
+		return selfCorrect(newIncrSharded(factory, shards), tr, cfg, seed)
 	}
 	return selfCorrect(NewShardedReplayer(factory, shards), tr, cfg, seed)
 }
@@ -156,6 +182,9 @@ func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []si
 			return runner.run(tr, inject)
 		},
 	}
+	if w, ok := runner.(interface{ work() (int, sim.Tick) }); ok {
+		hooks.work = w.work
+	}
 	return correctionLoop(hooks, cfg, seed)
 }
 
@@ -169,6 +198,10 @@ type correctionHooks struct {
 	zeroSeed func(lat []sim.Tick) error
 	schedule func(lat []sim.Tick) ([]sim.Tick, error)
 	run      func(inject []sim.Tick) (ReplayResult, error)
+	// work, when non-nil, reports the runner's (replayed events, saved
+	// cycles) counters for CorrectionResult. Runners without it (full
+	// replay) default to events×rounds replayed, zero saved.
+	work func() (int, sim.Tick)
 }
 
 // correctionLoop is the fixpoint iteration shared by SelfCorrect and its
@@ -195,13 +228,47 @@ func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (Correc
 	}
 
 	var out CorrectionResult
-	prev, err := h.schedule(lat)
-	if err != nil {
+	// finish fills the work counters at every successful exit; full-replay
+	// runners charge the whole trace to every round.
+	finish := func() {
+		if h.work != nil {
+			out.ReplayedEvents, out.SavedCycles = h.work()
+		} else {
+			out.ReplayedEvents = n * len(out.Iterations)
+		}
+	}
+	// Profiler labels tag every sample with the round and phase so a pprof
+	// capture of a correction run decomposes into schedule derivation versus
+	// replay, per round (round -1 renders as "seed"). Label bookkeeping
+	// allocates per pprof.Do call, so unprofiled runs — the common case, and
+	// the one the allocation gate measures — skip it entirely.
+	labeled := func(round int, phase string, fn func() error) error {
+		if !prof.CPUActive() {
+			return fn()
+		}
+		r := "seed"
+		if round >= 0 {
+			r = strconv.Itoa(round)
+		}
+		var err error
+		pprof.Do(context.Background(), pprof.Labels("round", r, "phase", phase), func(context.Context) {
+			err = fn()
+		})
+		return err
+	}
+	var prev []sim.Tick
+	if err := labeled(-1, "schedule", func() (err error) {
+		prev, err = h.schedule(lat)
+		return err
+	}); err != nil {
 		return CorrectionResult{}, fmt.Errorf("core: deriving schedule: %w", err)
 	}
 	for round := 0; round < cfg.MaxIterations; round++ {
-		res, err := h.run(prev)
-		if err != nil {
+		var res ReplayResult
+		if err := labeled(round, "replay", func() (err error) {
+			res, err = h.run(prev)
+			return err
+		}); err != nil {
 			return CorrectionResult{}, fmt.Errorf("core: correction round %d: %w", round, err)
 		}
 		out.TotalCycles += res.Cycles
@@ -217,8 +284,11 @@ func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (Correc
 		} else {
 			lat = measured
 		}
-		next, err := h.schedule(lat)
-		if err != nil {
+		var next []sim.Tick
+		if err := labeled(round, "schedule", func() (err error) {
+			next, err = h.schedule(lat)
+			return err
+		}); err != nil {
 			return CorrectionResult{}, fmt.Errorf("core: correction round %d: %w", round, err)
 		}
 		delta := MaxScheduleDelta(next, prev)
@@ -236,6 +306,7 @@ func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (Correc
 		out.Final = res
 		if delta <= sim.Tick(cfg.ToleranceCycles) {
 			out.Converged = true
+			finish()
 			return out, nil
 		}
 		// Aggregate-stability criterion: under contention the per-event
@@ -249,10 +320,12 @@ func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (Correc
 			}
 			if float64(diff) <= cfg.MakespanTolerance*float64(res.Makespan) {
 				out.Converged = true
+				finish()
 				return out, nil
 			}
 		}
 		prev = next
 	}
+	finish()
 	return out, nil
 }

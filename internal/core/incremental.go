@@ -1,0 +1,528 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"onocsim/internal/noc"
+	"onocsim/internal/sim"
+	"onocsim/internal/trace"
+)
+
+// This file implements incremental correction rounds: instead of replaying
+// the whole trace from cycle zero every round, the loop resumes round r+1
+// from the deepest round-r checkpoint that is still inside the new
+// schedule's frozen prefix.
+//
+// The frozen-prefix rule: let B = min over all events i with prev[i] ≠
+// next[i] of min(prev[i], next[i]) — the earliest cycle at which the two
+// schedules diverge (sim.Never when they are identical). Every injection at
+// or before any t0 < B is present in both schedules at the same time, and
+// schedule-driven replay has no delivery→injection feedback, so the fabric
+// evolution through t0 — arbitration, statistics mutation order, everything
+// — is byte-identical under both schedules. A checkpoint captured at cycle
+// t0 < B is therefore a valid state of the new round's trajectory, and the
+// replay may resume from it. The inequality is strict: an event whose
+// injection time *is* B may differ between the schedules.
+//
+// Checkpoints are captured during each round's replay at a ladder of
+// injection-count thresholds (octiles of the event count), at the drain
+// loop's top-of-iteration point where the state is exactly "every injection
+// and delivery ≤ Now() applied". Surviving checkpoints (at < B) are retained
+// across rounds: by induction they are states of the current trajectory, so
+// the ladder deepens as the schedule's stable prefix grows — exactly the
+// effect the paper's fixpoint exhibits, with late contention-heavy suffixes
+// churning long after early injections froze.
+
+// checkpoint pairs a fabric snapshot with its capture cycle. Ladders are
+// kept ascending by at.
+type checkpoint struct {
+	at   sim.Tick
+	snap noc.Snapshot
+}
+
+// frozenBoundary returns the earliest cycle at which two schedules diverge:
+// the minimum, over events whose injection time changed, of both times. It
+// returns sim.Never for identical schedules (every checkpoint stays valid).
+func frozenBoundary(prev, next []sim.Tick) sim.Tick {
+	b := sim.Never
+	for i := range prev {
+		if prev[i] != next[i] {
+			if prev[i] < b {
+				b = prev[i]
+			}
+			if next[i] < b {
+				b = next[i]
+			}
+		}
+	}
+	return b
+}
+
+// pruneLadder drops checkpoints invalidated by boundary b (at ≥ b, strict
+// validity) and returns the surviving prefix.
+func pruneLadder(ladder []checkpoint, b sim.Tick) []checkpoint {
+	keep := len(ladder)
+	for keep > 0 && ladder[keep-1].at >= b {
+		ladder[keep-1] = checkpoint{}
+		keep--
+	}
+	return ladder[:keep]
+}
+
+// captureThresholds returns the ascending injected-count thresholds at which
+// a round's replay captures checkpoints: the octiles of want (duplicates
+// collapsed, counts ≤ from dropped — those states are already behind the
+// resume point). The final threshold equals want, so a round whose schedule
+// matches the previous one resumes past its last injection and replays only
+// the drain tail.
+func captureThresholds(want, from int) []int {
+	var ts []int
+	for k := 1; k <= 8; k++ {
+		t := k * want / 8
+		if t <= from || t == 0 {
+			continue
+		}
+		if len(ts) > 0 && ts[len(ts)-1] == t {
+			continue
+		}
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// ladderCapture returns a replayDrain capture hook appending a checkpoint to
+// *ladder whenever the injected count crosses the next threshold. Several
+// thresholds crossed by one injection burst collapse into one snapshot.
+func ladderCapture(net noc.Network, ck noc.Checkpointer, ladder *[]checkpoint, thresholds []int) func(int) {
+	ti := 0
+	return func(injected int) {
+		crossed := false
+		for ti < len(thresholds) && injected >= thresholds[ti] {
+			ti++
+			crossed = true
+		}
+		if crossed {
+			*ladder = append(*ladder, checkpoint{at: net.Now(), snap: ck.Snapshot()})
+		}
+	}
+}
+
+// incrWork is the counter pair the correction loop surfaces in
+// CorrectionResult; both incremental runners implement it.
+type incrWork struct {
+	replayed int
+	saved    sim.Tick
+}
+
+func (w *incrWork) work() (int, sim.Tick) { return w.replayed, w.saved }
+
+// incrSerial implements roundRunner with serial incremental rounds. A fabric
+// that does not implement noc.Checkpointer degrades to plain full replays on
+// a reused instance — observationally the serialRounds path.
+type incrSerial struct {
+	factory NetworkFactory
+	net     noc.Network
+	used    bool
+
+	prevInject []sim.Tick // previous round's schedule
+	prevInjRes []sim.Tick // its realized injection times
+	prevArrive []sim.Tick // its realized arrival times
+	ladder     []checkpoint
+
+	incrWork
+}
+
+func newIncrSerial(factory NetworkFactory) *incrSerial {
+	return &incrSerial{factory: factory}
+}
+
+// fabric returns the runner's long-lived instance (never Reset here — rounds
+// either restore a checkpoint or Reset explicitly for a full replay).
+func (r *incrSerial) fabric() noc.Network {
+	if r.net == nil {
+		r.net = r.factory()
+	}
+	return r.net
+}
+
+// probe implements roundRunner. It never ticks, so the instance stays fresh
+// for round 0.
+func (r *incrSerial) probe() noc.Network { return r.fabric() }
+
+// freshFabric returns the instance at time zero with no prior traffic.
+func (r *incrSerial) freshFabric() noc.Network {
+	net := r.fabric()
+	if r.used {
+		if res, ok := net.(noc.Resettable); ok {
+			res.Reset()
+		} else {
+			r.net = r.factory()
+			net = r.net
+		}
+	}
+	return net
+}
+
+// invalidate drops all cross-round state after a failed round.
+func (r *incrSerial) invalidate() {
+	r.prevInject = nil
+	r.prevInjRes = nil
+	r.prevArrive = nil
+	r.ladder = pruneLadder(r.ladder, 0)
+}
+
+// run implements roundRunner.
+func (r *incrSerial) run(tr *trace.Trace, inject []sim.Tick) (ReplayResult, error) {
+	net := r.fabric()
+	if net.Nodes() != tr.Nodes {
+		return ReplayResult{}, fmt.Errorf("core: fabric has %d nodes, trace has %d", net.Nodes(), tr.Nodes)
+	}
+	if len(inject) != len(tr.Events) {
+		return ReplayResult{}, fmt.Errorf("core: %d injection times for %d events", len(inject), len(tr.Events))
+	}
+	if err := checkEventIDs(tr); err != nil {
+		return ReplayResult{}, err
+	}
+	ck, checkpointable := net.(noc.Checkpointer)
+	if !checkpointable {
+		// No checkpoint contract: every round is a full replay.
+		r.used = true
+		r.replayed += len(tr.Events)
+		return ReplaySchedule(r.freshFabric(), tr, inject)
+	}
+
+	n := len(tr.Events)
+	res := ReplayResult{
+		Inject: make([]sim.Tick, n),
+		Arrive: make([]sim.Tick, n),
+	}
+	order := injectionOrder(inject)
+
+	// Resume point: the deepest retained checkpoint below the boundary.
+	next, delivered := 0, 0
+	if r.prevInject != nil {
+		r.ladder = pruneLadder(r.ladder, frozenBoundary(r.prevInject, inject))
+	} else {
+		r.ladder = pruneLadder(r.ladder, 0)
+	}
+	if len(r.ladder) > 0 {
+		cp := r.ladder[len(r.ladder)-1]
+		ck.Restore(cp.snap)
+		// Reconstruct the drain cursors in O(n): injections at or before
+		// the checkpoint are identical in both schedules (t0 < B), so the
+		// injected set is exactly {i : inject[i] ≤ t0} and the delivered
+		// prefix carries over from the previous round's realized times.
+		for _, i := range order {
+			if inject[i] > cp.at {
+				break
+			}
+			next++
+		}
+		for i := 0; i < n; i++ {
+			if r.prevArrive[i] <= cp.at {
+				res.Inject[i] = r.prevInjRes[i]
+				res.Arrive[i] = r.prevArrive[i]
+				delivered++
+			}
+		}
+		r.saved += cp.at
+	} else {
+		net = r.freshFabric()
+		ck = net.(noc.Checkpointer)
+	}
+	r.used = true
+	r.replayed += n - next
+
+	var pool noc.MsgPool
+	net.SetDeliver(func(m *noc.Message) {
+		idx := int(m.ID) - 1
+		res.Arrive[idx] = m.Arrive
+		res.Inject[idx] = m.Inject
+		delivered++
+		pool.Put(m)
+	})
+	capture := ladderCapture(net, ck, &r.ladder, captureThresholds(n, next))
+	if err := replayDrain(net, tr, inject, order, next, &delivered, n, &pool, capture); err != nil {
+		r.invalidate()
+		return ReplayResult{}, fmt.Errorf("core: %w", err)
+	}
+	finalizeResult(&res, tr, net)
+
+	r.prevInject = append(r.prevInject[:0], inject...)
+	r.prevInjRes = res.Inject
+	r.prevArrive = res.Arrive
+	return res, nil
+}
+
+// incrSharded implements roundRunner with per-shard incremental rounds. The
+// sharded partition has zero cross-shard channels (see ShardedReplayer), so
+// each replica is a fully independent serial drain over its owned events —
+// barrier patterns cannot affect results, and each shard keeps its own
+// checkpoint ladder and its own frozen-prefix boundary (the minimum over its
+// *owned* changed events, typically deeper than the global one). Fabrics
+// that are not ScheduleShardable, effective shard counts ≤ 1, and fabrics
+// without the checkpoint contract all fall back to the serial incremental
+// runner on replica 0.
+type incrSharded struct {
+	factory NetworkFactory
+	shards  int
+	nets    []noc.Network
+	used    []bool
+	serial  *incrSerial
+
+	prevInject []sim.Tick
+	prevInjRes []sim.Tick
+	prevArrive []sim.Tick
+	prevObs    []noc.ShardObs
+	prevHasObs []bool
+	ladders    [][]checkpoint
+
+	incrWork
+}
+
+func newIncrSharded(factory NetworkFactory, shards int) *incrSharded {
+	if shards < 1 {
+		shards = 1
+	}
+	return &incrSharded{factory: factory, shards: shards}
+}
+
+// fabric returns the long-lived replica for shard slot i.
+func (p *incrSharded) fabric(i int) noc.Network {
+	for len(p.nets) <= i {
+		p.nets = append(p.nets, nil)
+		p.used = append(p.used, false)
+	}
+	if p.nets[i] == nil {
+		p.nets[i] = p.factory()
+	}
+	return p.nets[i]
+}
+
+// freshFabric returns replica i at time zero with no prior traffic.
+func (p *incrSharded) freshFabric(i int) noc.Network {
+	net := p.fabric(i)
+	if p.used[i] {
+		if res, ok := net.(noc.Resettable); ok {
+			res.Reset()
+		} else {
+			p.nets[i] = p.factory()
+			net = p.nets[i]
+		}
+	}
+	return net
+}
+
+// probe implements roundRunner.
+func (p *incrSharded) probe() noc.Network { return p.fabric(0) }
+
+// serialFallback routes a round through the serial incremental runner,
+// sharing replica 0 so the fabric cache is not duplicated.
+func (p *incrSharded) serialFallback(tr *trace.Trace, inject []sim.Tick) (ReplayResult, error) {
+	if p.serial == nil {
+		p.serial = &incrSerial{factory: p.factory, net: p.fabric(0), used: p.used[0]}
+	}
+	res, err := p.serial.run(tr, inject)
+	p.used[0] = true
+	p.replayed, p.saved = p.serial.replayed, p.serial.saved
+	return res, err
+}
+
+// invalidate drops all cross-round state after a failed round.
+func (p *incrSharded) invalidate() {
+	p.prevInject = nil
+	p.prevInjRes = nil
+	p.prevArrive = nil
+	p.prevObs = nil
+	p.prevHasObs = nil
+	for s := range p.ladders {
+		p.ladders[s] = pruneLadder(p.ladders[s], 0)
+	}
+}
+
+// run implements roundRunner. It mirrors ShardedReplayer.Replay — same
+// partition, same disjoint-index observation writes, same serial-order
+// statistics merge — with each replica's drain resuming from its own
+// checkpoint ladder.
+func (p *incrSharded) run(tr *trace.Trace, inject []sim.Tick) (ReplayResult, error) {
+	net := p.fabric(0)
+	if net.Nodes() != tr.Nodes {
+		return ReplayResult{}, fmt.Errorf("core: fabric has %d nodes, trace has %d", net.Nodes(), tr.Nodes)
+	}
+	if len(inject) != len(tr.Events) {
+		return ReplayResult{}, fmt.Errorf("core: %d injection times for %d events", len(inject), len(tr.Events))
+	}
+	if err := checkEventIDs(tr); err != nil {
+		return ReplayResult{}, err
+	}
+	nodes := net.Nodes()
+	k := p.shards
+	if k > nodes {
+		k = nodes
+	}
+	sh0, shardable := net.(noc.ScheduleShardable)
+	_, checkpointable := net.(noc.Checkpointer)
+	if k <= 1 || !shardable || !checkpointable {
+		if shardable {
+			sh0.SetShardObs(nil)
+		}
+		return p.serialFallback(tr, inject)
+	}
+	for len(p.ladders) < k {
+		p.ladders = append(p.ladders, nil)
+	}
+
+	n := len(tr.Events)
+	res := ReplayResult{
+		Inject: make([]sim.Tick, n),
+		Arrive: make([]sim.Tick, n),
+	}
+	order := injectionOrder(inject)
+	rank := make([]int, n)
+	for pos, i := range order {
+		rank[i] = pos
+	}
+
+	// Partition events by owner shard; iterating the global order keeps each
+	// shard's subsequence in serial injection order. Ownership depends only
+	// on (src, dst), so it is stable across rounds.
+	sn := make([]int, n)
+	owner := make([]int, n)
+	shardOrder := make([][]int, k)
+	for _, i := range order {
+		e := &tr.Events[i]
+		sn[i] = sh0.ShardNode(e.Src, e.Dst)
+		s := sn[i] * k / nodes
+		owner[i] = s
+		shardOrder[s] = append(shardOrder[s], i)
+	}
+
+	// Per-shard frozen-prefix boundaries over owned events only.
+	bounds := make([]sim.Tick, k)
+	for s := range bounds {
+		bounds[s] = sim.Never
+	}
+	if p.prevInject == nil {
+		for s := range bounds {
+			bounds[s] = 0
+		}
+	} else {
+		for i := range inject {
+			if p.prevInject[i] != inject[i] {
+				lo := p.prevInject[i]
+				if inject[i] < lo {
+					lo = inject[i]
+				}
+				if lo < bounds[owner[i]] {
+					bounds[owner[i]] = lo
+				}
+			}
+		}
+	}
+
+	obs := make([]noc.ShardObs, n)
+	hasObs := make([]bool, n)
+
+	type shardState struct {
+		net       noc.Network
+		next      int
+		delivered int
+		err       error
+	}
+	states := make([]*shardState, k)
+	for s := 0; s < k; s++ {
+		ss := &shardState{}
+		p.ladders[s] = pruneLadder(p.ladders[s], bounds[s])
+		if len(p.ladders[s]) > 0 {
+			cp := p.ladders[s][len(p.ladders[s])-1]
+			ss.net = p.fabric(s)
+			ss.net.(noc.Checkpointer).Restore(cp.snap)
+			for _, i := range shardOrder[s] {
+				if inject[i] <= cp.at {
+					ss.next++
+				}
+			}
+			for _, i := range shardOrder[s] {
+				if p.prevArrive[i] <= cp.at {
+					res.Inject[i] = p.prevInjRes[i]
+					res.Arrive[i] = p.prevArrive[i]
+					ss.delivered++
+				}
+				// Observations are recorded at transmit start (crossbars)
+				// or injection (ideal); starts at or before the checkpoint
+				// carry over, later ones re-record during the resumed run.
+				if p.prevHasObs[i] && p.prevObs[i].Start <= cp.at {
+					obs[i] = p.prevObs[i]
+					hasObs[i] = true
+				}
+			}
+			p.saved += cp.at
+		} else {
+			ss.net = p.freshFabric(s)
+		}
+		p.used[s] = true
+		p.replayed += len(shardOrder[s]) - ss.next
+		states[s] = ss
+	}
+
+	// Drain every shard to completion concurrently. Replicas are fully
+	// independent, and every shared-slice write (res, obs) lands at indices
+	// owned by exactly one shard.
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		ss := states[s]
+		sub := shardOrder[s]
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var pool noc.MsgPool
+			fsh := ss.net.(noc.ScheduleShardable)
+			fsh.SetDeliver(func(m *noc.Message) {
+				idx := int(m.ID) - 1
+				res.Arrive[idx] = m.Arrive
+				res.Inject[idx] = m.Inject
+				ss.delivered++
+				pool.Put(m)
+			})
+			fsh.SetShardObs(func(id uint64, o noc.ShardObs) {
+				obs[id-1] = o
+				hasObs[id-1] = true
+			})
+			capture := ladderCapture(ss.net, ss.net.(noc.Checkpointer), &p.ladders[s], captureThresholds(len(sub), ss.next))
+			ss.err = replayDrain(ss.net, tr, inject, sub, ss.next, &ss.delivered, len(sub), &pool, capture)
+		}(s)
+	}
+	wg.Wait()
+	for s, ss := range states {
+		if ss.err != nil {
+			p.invalidate()
+			return ReplayResult{}, fmt.Errorf("core: shard %d/%d: %w", s, k, ss.err)
+		}
+		if ss.delivered != len(shardOrder[s]) {
+			p.invalidate()
+			return ReplayResult{}, fmt.Errorf("core: shard %d/%d delivered %d/%d", s, k, ss.delivered, len(shardOrder[s]))
+		}
+	}
+
+	stats, err := mergeStats(n, func(i int) (int, noc.Class, bool) {
+		e := &tr.Events[i]
+		return e.Bytes, e.Class, e.Src == e.Dst
+	}, &res, inject, obs, hasObs, rank, sn, sh0.SeqOrder())
+	if err != nil {
+		p.invalidate()
+		return ReplayResult{}, err
+	}
+	for _, ss := range states {
+		stats.Faults.Add(ss.net.Stats().Faults)
+	}
+	finalizeShardedResult(&res, tr)
+	res.NetStats = stats
+
+	p.prevInject = append(p.prevInject[:0], inject...)
+	p.prevInjRes = res.Inject
+	p.prevArrive = res.Arrive
+	p.prevObs = obs
+	p.prevHasObs = hasObs
+	return res, nil
+}

@@ -94,10 +94,38 @@ func ReplaySchedule(net noc.Network, tr *trace.Trace, inject []sim.Tick) (Replay
 		pool.Put(m)
 	})
 
-	next := 0
-	for delivered < n {
+	if err := replayDrain(net, tr, inject, order, 0, &delivered, n, &pool, nil); err != nil {
+		return ReplayResult{}, fmt.Errorf("core: %w", err)
+	}
+	finalizeResult(&res, tr, net)
+	return res, nil
+}
+
+// replayDrain is the schedule-driven drain loop shared by ReplaySchedule, the
+// incremental correction rounds, and the per-shard incremental replicas. It
+// injects the events listed in order (positions [next, len(order))) at their
+// absolute schedule times and ticks/skips the fabric until want deliveries
+// have been recorded through the fabric's delivery callback, which must
+// increment *delivered.
+//
+// The loop is resumable: callers restoring a checkpoint pass the fabric at
+// its restored clock, next set to the count of order positions whose
+// injection time lies at or before it, and *delivered prefilled with the
+// arrivals that completed by then.
+//
+// capture, when non-nil, is invoked at the top of every iteration — after
+// the injection burst, when the fabric state is exactly "every injection and
+// delivery ≤ Now() applied" — with the current injected count; it is the
+// hook the incremental loop uses to snapshot checkpoints at a consistent,
+// trajectory-independent point.
+func replayDrain(net noc.Network, tr *trace.Trace, inject []sim.Tick, order []int, next int, delivered *int, want int, pool *noc.MsgPool, capture func(injected int)) error {
+	var lastInj sim.Tick
+	if len(order) > 0 {
+		lastInj = inject[order[len(order)-1]]
+	}
+	for *delivered < want {
 		now := net.Now()
-		for next < n && inject[order[next]] <= now {
+		for next < len(order) && inject[order[next]] <= now {
 			i := order[next]
 			e := &tr.Events[i]
 			m := pool.Get()
@@ -109,28 +137,47 @@ func ReplaySchedule(net noc.Network, tr *trace.Trace, inject []sim.Tick) (Replay
 			net.Inject(m)
 			next++
 		}
+		if capture != nil {
+			capture(next)
+		}
 		// Fast-forward to the next injection or fabric event; the cycles
 		// in between are provably idle.
 		wake := net.NextWake()
-		if next < n && inject[order[next]] < wake {
+		if next < len(order) && inject[order[next]] < wake {
 			wake = inject[order[next]]
 		}
 		if wake == noc.Never {
 			// Nothing pending and nothing left to inject: the fabric
 			// swallowed a message.
-			return ReplayResult{}, fmt.Errorf("core: replay did not drain (%d/%d delivered)", delivered, n)
+			return fmt.Errorf("replay did not drain (%d/%d delivered)", *delivered, want)
 		}
 		if wake > now+1 {
 			net.SkipTo(wake - 1)
 		}
 		net.Tick()
 		// Guard against fabric bugs swallowing messages.
-		if net.Now() > inject[order[n-1]]+sim.Tick(1_000_000_000) {
-			return ReplayResult{}, fmt.Errorf("core: replay did not drain (%d/%d delivered)", delivered, n)
+		if net.Now() > lastInj+sim.Tick(1_000_000_000) {
+			return fmt.Errorf("replay did not drain (%d/%d delivered)", *delivered, want)
 		}
 	}
-	finalizeResult(&res, tr, net)
-	return res, nil
+	return nil
+}
+
+// injectionOrder returns event indices sorted by (injection time, ID) — the
+// serial injection order every replay engine follows.
+func injectionOrder(inject []sim.Tick) []int {
+	order := make([]int, len(inject))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if inject[ia] != inject[ib] {
+			return inject[ia] < inject[ib]
+		}
+		return ia < ib
+	})
+	return order
 }
 
 // finalizeResult computes makespan and summary statistics.

@@ -213,9 +213,17 @@ func (p *ShardedReplayer) Replay(tr *trace.Trace, inject []sim.Tick) (ReplayResu
 		stats.Faults.Add(rs.net.Stats().Faults)
 	}
 
-	// Finalize exactly as finalizeResult does, with the serial engine's
-	// final clock reconstructed: the serial loop exits on the Tick that
-	// delivers the last message, so Now() there equals the last arrival.
+	finalizeShardedResult(&res, tr)
+	res.NetStats = stats
+	return res, nil
+}
+
+// finalizeShardedResult computes makespan and summary statistics exactly as
+// finalizeResult does, with the serial engine's final clock reconstructed:
+// the serial loop exits on the Tick that delivers the last message, so Now()
+// there equals the last arrival. Shared by the sharded and the incremental
+// sharded replayers; the caller installs NetStats from mergeStats.
+func finalizeShardedResult(res *ReplayResult, tr *trace.Trace) {
 	var maxArr, maxRef sim.Tick
 	var sum float64
 	for i := range res.Arrive {
@@ -232,12 +240,10 @@ func (p *ShardedReplayer) Replay(tr *trace.Trace, inject []sim.Tick) (ReplayResu
 		tail = 0
 	}
 	res.Makespan = maxArr + tail
-	if n > 0 {
-		res.MeanLatency = sum / float64(n)
+	if len(res.Arrive) > 0 {
+		res.MeanLatency = sum / float64(len(res.Arrive))
 	}
 	res.Cycles = maxArr
-	res.NetStats = stats
-	return res, nil
 }
 
 // replayShard drives one replica fabric over its owned injection

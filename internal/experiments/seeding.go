@@ -23,7 +23,8 @@ func R19Seeding(o Options) (*metrics.Table, error) {
 		"R19 (extension) — analytical fast path: seeding savings and screening error",
 		"kernel", "fabric", "rounds (zero-load)", "rounds (analytic)", "rounds saved",
 		"wall (zero-load)", "wall (analytic)",
-		"makespan est", "makespan sim", "makespan err", "mean-latency err", "final drift")
+		"makespan est", "makespan sim", "makespan err", "mean-latency err", "final drift",
+		"replayed (zero-load)", "replayed (analytic)")
 	fabrics := []onocsim.NetworkKind{onocsim.Optical, onocsim.Electrical, onocsim.Hybrid}
 	for _, k := range workload.KernelNames() {
 		cfg := kernelConfig(o, k)
@@ -61,6 +62,8 @@ func R19Seeding(o Options) (*metrics.Table, error) {
 				metrics.Percent(metrics.RelErr(float64(est.Makespan), float64(zl.Final.Makespan))),
 				metrics.Percent(metrics.RelErr(est.MeanLatency, zl.Final.MeanLatency)),
 				metrics.Percent(metrics.RelErr(float64(an.Final.Makespan), float64(zl.Final.Makespan))),
+				metrics.Int(int64(zl.ReplayedEvents), "events"),
+				metrics.Int(int64(an.ReplayedEvents), "events"),
 			)
 		}
 	}

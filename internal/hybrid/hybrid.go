@@ -186,6 +186,43 @@ func (n *Network) SkipTo(t sim.Tick) {
 	n.optical.SkipTo(t)
 }
 
+// hybridSnapshot composes the two sub-fabric snapshots with the routing
+// layer's own counters and aggregate statistics.
+type hybridSnapshot struct {
+	mesh    noc.Snapshot
+	optical noc.Snapshot
+	stats   *noc.Stats
+
+	rerouted            uint64
+	viaMesh, viaOptical uint64
+}
+
+// SnapshotAt implements noc.Snapshot: both sub-fabrics share the clock.
+func (s *hybridSnapshot) SnapshotAt() sim.Tick { return s.mesh.SnapshotAt() }
+
+// Snapshot implements noc.Checkpointer.
+func (n *Network) Snapshot() noc.Snapshot {
+	return &hybridSnapshot{
+		mesh:       n.mesh.Snapshot(),
+		optical:    n.optical.(noc.Checkpointer).Snapshot(),
+		stats:      n.stats.Clone(),
+		rerouted:   n.rerouted,
+		viaMesh:    n.ViaMesh,
+		viaOptical: n.ViaOptical,
+	}
+}
+
+// Restore implements noc.Checkpointer.
+func (n *Network) Restore(s noc.Snapshot) {
+	snap := s.(*hybridSnapshot)
+	n.mesh.Restore(snap.mesh)
+	n.optical.(noc.Checkpointer).Restore(snap.optical)
+	n.stats = snap.stats.Clone()
+	n.rerouted = snap.rerouted
+	n.ViaMesh = snap.viaMesh
+	n.ViaOptical = snap.viaOptical
+}
+
 // Reset implements noc.Resettable.
 func (n *Network) Reset() {
 	n.mesh.Reset()

@@ -181,6 +181,17 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// Clone returns an independent deep copy of the histogram: mutating either
+// copy leaves the other untouched. The checkpoint machinery relies on this to
+// snapshot a fabric's statistics block mid-run.
+func (h *Histogram) Clone() *Histogram {
+	b := make([]float64, len(h.bounds))
+	copy(b, h.bounds)
+	c := make([]uint64, len(h.counts))
+	copy(c, h.counts)
+	return &Histogram{bounds: b, counts: c, sum: h.sum}
+}
+
 // Merge folds other into h. Both histograms must have identical bounds;
 // mismatched bounds panic because the merged distribution would be wrong.
 func (h *Histogram) Merge(other *Histogram) {

@@ -187,6 +187,60 @@ func (n *Ideal) Reset() {
 	n.inflight = n.inflight[:0]
 }
 
+// idealSnapshot captures the ideal fabric's mutable state: clock, statistics,
+// per-node port reservations and the pending-delivery heap. The heap is stored
+// as-is (copying the slice preserves the heap shape) with every message cloned
+// so the snapshot survives pool recycling of the originals.
+type idealSnapshot struct {
+	now      sim.Tick
+	stats    *Stats
+	nextFree []sim.Tick
+	inflight deliveryHeap
+}
+
+// SnapshotAt implements Snapshot.
+func (s *idealSnapshot) SnapshotAt() sim.Tick { return s.now }
+
+// cloneDeliveries deep-copies a delivery heap, giving every entry a fresh
+// Message so neither side can observe the other's mutations.
+func cloneDeliveries(src deliveryHeap) deliveryHeap {
+	if len(src) == 0 {
+		return nil
+	}
+	dst := make(deliveryHeap, len(src))
+	copy(dst, src)
+	for i := range dst {
+		m := *dst[i].msg
+		dst[i].msg = &m
+	}
+	return dst
+}
+
+// Snapshot implements Checkpointer.
+func (n *Ideal) Snapshot() Snapshot {
+	s := &idealSnapshot{
+		now:      n.now,
+		stats:    n.stats.Clone(),
+		nextFree: make([]sim.Tick, len(n.nextFree)),
+		inflight: cloneDeliveries(n.inflight),
+	}
+	copy(s.nextFree, n.nextFree)
+	return s
+}
+
+// Restore implements Checkpointer. It deep-copies from the snapshot, so the
+// snapshot stays valid for further restores.
+func (n *Ideal) Restore(s Snapshot) {
+	snap := s.(*idealSnapshot)
+	n.now = snap.now
+	n.stats = snap.stats.Clone()
+	copy(n.nextFree, snap.nextFree)
+	for i := range n.inflight {
+		n.inflight[i] = pendingDelivery{}
+	}
+	n.inflight = append(n.inflight[:0], cloneDeliveries(snap.inflight)...)
+}
+
 // Lookahead implements Network: the fixed delivery latency is the minimum
 // delay between an injection and its effect at another node.
 func (n *Ideal) Lookahead() sim.Tick { return n.latency }

@@ -181,6 +181,40 @@ type ScheduleShardable interface {
 	SeqOrder() SeqOrder
 }
 
+// Snapshot is an opaque deep copy of a fabric's mutable state, produced by
+// Checkpointer.Snapshot. A snapshot owns every piece of state it captures —
+// cloned messages, cloned statistics, copied queues — so the live fabric may
+// keep running (or be Reset) without invalidating it. SnapshotAt reports the
+// fabric clock at capture time; the correction loop uses it to decide which
+// checkpoint is still inside a new schedule's frozen prefix.
+type Snapshot interface {
+	SnapshotAt() sim.Tick
+}
+
+// Checkpointer is implemented by fabrics whose full mutable state can be
+// captured mid-run and restored later — the primitive behind incremental
+// self-correction (replay resumes from the deepest checkpoint still valid
+// under the next round's schedule instead of from cycle zero).
+//
+// The contract mirrors Resettable: Restore(s) must leave the fabric
+// observationally identical to the one Snapshot was called on at that
+// instant — clock, statistics (Welford accumulators included), every queued
+// and in-flight message, arbitration state (token positions, credits,
+// round-robin pointers), and fault counters. Like Reset, the delivery and
+// shard-observation callbacks are deliberately left in place. Restore
+// deep-copies *from* the snapshot, so one snapshot may be restored any
+// number of times, onto the originating instance or any identically
+// configured one. State that is immutable or a pure function of the
+// configuration (topology wiring, photonic budgets, lazily materialized
+// fault timelines, serialization memo tables, free lists) is exempt.
+type Checkpointer interface {
+	// Snapshot captures the fabric's mutable state at the current cycle.
+	Snapshot() Snapshot
+	// Restore rewinds the fabric to the captured state. It panics if s was
+	// produced by a different fabric kind or configuration shape.
+	Restore(s Snapshot)
+}
+
 // Resettable is implemented by fabrics that can return to their
 // just-constructed state, letting owners reuse one network across
 // independent runs instead of rebuilding it. Reset must restore the clock
@@ -287,6 +321,15 @@ func (f *FaultCounts) Add(o FaultCounts) {
 	f.DriftedSends += o.DriftedSends
 	f.DeratedSends += o.DeratedSends
 	f.Rerouted += o.Rerouted
+}
+
+// Clone returns an independent deep copy of the statistics block. PerClass,
+// QueueDelay and HopCount are value-type Welford summaries and copy with the
+// struct; only the latency histogram needs an explicit deep copy.
+func (s *Stats) Clone() *Stats {
+	c := *s
+	c.Latency = s.Latency.Clone()
+	return &c
 }
 
 // NewStats returns an initialized stats block.

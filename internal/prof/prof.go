@@ -8,7 +8,18 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 )
+
+// cpuActive tracks whether a CPU profile started through Start is running.
+var cpuActive atomic.Bool
+
+// CPUActive reports whether a CPU profile started through Start is currently
+// collecting samples. Hot loops consult it before attaching pprof labels:
+// label bookkeeping allocates per call, and the allocation gate
+// (`benchjson -counterregress`) holds unprofiled runs to a strict budget, so
+// the labels are applied only when a profile is there to read them.
+func CPUActive() bool { return cpuActive.Load() }
 
 // Start begins CPU profiling (when cpuPath is non-empty) and arranges a heap
 // snapshot at stop time (when memPath is non-empty). The returned stop
@@ -27,10 +38,12 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			cpuFile.Close()
 			return noop, err
 		}
+		cpuActive.Store(true)
 	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
+			cpuActive.Store(false)
 			if err := cpuFile.Close(); err != nil {
 				return err
 			}

@@ -1,0 +1,40 @@
+package prof
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCPUActiveTracksProfileLifetime pins the label-gating signal: inactive
+// before Start, active while a CPU profile collects, inactive after stop.
+func TestCPUActiveTracksProfileLifetime(t *testing.T) {
+	if CPUActive() {
+		t.Fatal("CPUActive before any profile")
+	}
+	stop, err := Start(filepath.Join(t.TempDir(), "cpu.out"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CPUActive() {
+		t.Error("CPUActive false while profiling")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if CPUActive() {
+		t.Error("CPUActive true after stop")
+	}
+}
+
+// TestCPUActiveNoopWithoutCPUPath checks a mem-only (or empty) Start never
+// flips the flag.
+func TestCPUActiveNoopWithoutCPUPath(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if CPUActive() {
+		t.Error("CPUActive true without a CPU profile")
+	}
+}

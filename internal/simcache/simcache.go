@@ -259,7 +259,10 @@ func (c *Cache) diskError(err error) {
 // a result struct from JSON written for an older field layout would silently
 // zero-fill, so bump this whenever a cached result type changes shape and
 // stale files become plain misses.
-const valueFormatVersion = 1
+// Version 2: CorrectionResult grew the ReplayedEvents/SavedCycles work
+// counters; version-1 files would decode them as zero and misreport the
+// replay cost, so they are re-computed instead.
+const valueFormatVersion = 2
 
 // diskValue is the on-disk envelope for non-trace results.
 type diskValue struct {

@@ -2,9 +2,12 @@ package trace
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"onocsim/internal/noc"
 	"onocsim/internal/sim"
@@ -67,6 +70,19 @@ type Source interface {
 	Meta() Meta
 	// Pass opens a fresh iterator positioned before the first event.
 	Pass() (Iterator, error)
+}
+
+// Digester is an optional Source extension: a stable, collision-resistant
+// identity for the trace's *content*, usable as a cache key for results of
+// replaying the source. Both provided sources implement it: FileSource
+// hashes the raw file bytes (lazily, once), and MemSource hashes the
+// canonical binary encoding — so a file written by Writer digests
+// identically to the in-memory trace it encodes. A digest mismatch between
+// two representations of equal content only costs a cache miss, never a
+// wrong hit.
+type Digester interface {
+	// Digest returns an identity of the form "sha256:<hex>".
+	Digest() (string, error)
 }
 
 // validateEvent checks the per-event structural invariants every consumer
@@ -328,6 +344,10 @@ func (r *Reader) Close() error { return nil }
 type FileSource struct {
 	path string
 	meta Meta
+
+	digestOnce sync.Once
+	digest     string
+	digestErr  error
 }
 
 // NewFileSource validates the file's header and returns a reusable source.
@@ -368,11 +388,36 @@ type fileIter struct {
 
 func (it *fileIter) Close() error { return it.f.Close() }
 
+// Digest implements Digester by hashing the raw file bytes. The hash is
+// computed on first use and cached; a multi-gigabyte trace pays one
+// sequential read, far below a single replay pass's decode cost.
+func (s *FileSource) Digest() (string, error) {
+	s.digestOnce.Do(func() {
+		f, err := os.Open(s.path)
+		if err != nil {
+			s.digestErr = fmt.Errorf("trace: %w", err)
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			s.digestErr = fmt.Errorf("trace: digesting %s: %w", s.path, err)
+			return
+		}
+		s.digest = "sha256:" + hex.EncodeToString(h.Sum(nil))
+	})
+	return s.digest, s.digestErr
+}
+
 // MemSource adapts a materialized Trace to the Source contract, so in-memory
 // and out-of-core execution share one consumer code path. The trace must
 // already satisfy Validate; events are handed out without copying.
 type MemSource struct {
 	tr *Trace
+
+	digestOnce sync.Once
+	digest     string
+	digestErr  error
 }
 
 // NewMemSource wraps an in-memory trace.
@@ -406,6 +451,33 @@ func (it *memIter) Next(e *Event) (bool, error) {
 }
 
 func (it *memIter) Close() error { return nil }
+
+// Digest implements Digester by streaming the canonical binary encoding
+// through the hash — no materialized copy — so it matches the Digest of a
+// file written by Writer for the same trace.
+func (s *MemSource) Digest() (string, error) {
+	s.digestOnce.Do(func() {
+		h := sha256.New()
+		w, err := NewWriter(h, s.Meta())
+		if err != nil {
+			s.digestErr = err
+			return
+		}
+		for i := range s.tr.Events {
+			e := s.tr.Events[i] // Append may assign the ID; never mutate the trace
+			if err := w.Append(&e); err != nil {
+				s.digestErr = err
+				return
+			}
+		}
+		if err := w.Close(); err != nil {
+			s.digestErr = err
+			return
+		}
+		s.digest = "sha256:" + hex.EncodeToString(h.Sum(nil))
+	})
+	return s.digest, s.digestErr
+}
 
 // Writer incrementally encodes the binary trace format: the header (with the
 // final event count) is written at construction, then Append encodes one

@@ -105,6 +105,12 @@ func normalizeFor(cfg Config, kind NetworkKind, op simcache.Op) Config {
 	// replay's two dependency toggles.
 	switch op {
 	case simcache.OpSCTM:
+		// Incremental replay is byte-identical to full replay (it only
+		// changes how rounds are executed, like Parallelism), so both modes
+		// must share one cached result. Note the work counters
+		// (ReplayedEvents/SavedCycles) are execution-mode metadata: a cache
+		// hit reports whichever mode computed the entry first.
+		n.SCTM.Incremental = def.SCTM.Incremental
 	case simcache.OpCoupled, simcache.OpEstimate:
 		sc := cfg.SCTM
 		n.SCTM = def.SCTM
@@ -285,6 +291,83 @@ func (s *Session) memoReplay(cfg Config, tr *Trace, kind NetworkKind, op simcach
 		return ReplayResult{}, 0, err
 	}
 	return rv.Res, rv.Wall, nil
+}
+
+// sourceKey keys a replay of a TraceSource targeting kind. Source identity
+// comes from the trace *content* digest (trace.Digester), not from session
+// bookkeeping, so results persist across invocations and across sources —
+// replaying a trace file hits the entry a MemSource of the same trace
+// computed, and vice versa. Sources without a digest (or whose digest fails,
+// e.g. an unreadable file — the replay will surface the real error) run
+// uncached.
+func (s *Session) sourceKey(cfg Config, src TraceSource, kind NetworkKind, op simcache.Op) (simcache.Key, bool, error) {
+	d, ok := src.(trace.Digester)
+	if !ok {
+		return simcache.Key{}, false, nil
+	}
+	digest, err := d.Digest()
+	if err != nil {
+		return simcache.Key{}, false, nil
+	}
+	key, err := sessionKey(cfg, kind, op)
+	if err != nil {
+		return simcache.Key{}, false, err
+	}
+	key.Capture = digest
+	return key, true, nil
+}
+
+// RunNaiveReplayStream is the memoized form of the package function: cached
+// replay results for out-of-core traces, keyed by the source's content
+// digest. On a hit the trace file is not even decoded.
+func (s *Session) RunNaiveReplayStream(cfg Config, src TraceSource, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	if s == nil {
+		return RunNaiveReplayStream(cfg, src, kind)
+	}
+	key, ok, err := s.sourceKey(cfg, src, kind, simcache.OpNaive)
+	if err != nil {
+		return ReplayResult{}, 0, err
+	}
+	if !ok {
+		return RunNaiveReplayStream(cfg, src, kind)
+	}
+	rv, err := simcache.DoValue(s.cache, key, func() (replayVal, error) {
+		res, wall, err := RunNaiveReplayStream(cfg, src, kind)
+		if err != nil {
+			return replayVal{}, err
+		}
+		return replayVal{Res: res, Wall: wall}, nil
+	})
+	if err != nil {
+		return ReplayResult{}, 0, err
+	}
+	return rv.Res, rv.Wall, nil
+}
+
+// RunSelfCorrectionStream is the memoized form of the package function,
+// keyed like RunNaiveReplayStream.
+func (s *Session) RunSelfCorrectionStream(cfg Config, src TraceSource, kind NetworkKind) (CorrectionResult, time.Duration, error) {
+	if s == nil {
+		return RunSelfCorrectionStream(cfg, src, kind)
+	}
+	key, ok, err := s.sourceKey(cfg, src, kind, simcache.OpSCTM)
+	if err != nil {
+		return CorrectionResult{}, 0, err
+	}
+	if !ok {
+		return RunSelfCorrectionStream(cfg, src, kind)
+	}
+	cv, err := simcache.DoValue(s.cache, key, func() (corrVal, error) {
+		res, wall, err := RunSelfCorrectionStream(cfg, src, kind)
+		if err != nil {
+			return corrVal{}, err
+		}
+		return corrVal{Res: res, Wall: wall}, nil
+	})
+	if err != nil {
+		return CorrectionResult{}, 0, err
+	}
+	return cv.Res, cv.Wall, nil
 }
 
 // RunSelfCorrection is the memoized form of the package function.

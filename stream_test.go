@@ -288,3 +288,101 @@ func TestStreamWindowValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceDigestAgreesAcrossRepresentations: a file written by SaveTrace
+// digests identically to a MemSource of the same trace (the file holds the
+// canonical encoding MemSource hashes), and distinct traces get distinct
+// digests.
+func TestTraceDigestAgreesAcrossRepresentations(t *testing.T) {
+	cfg := smallConfig()
+	tr, _, err := CaptureTrace(cfg, IdealNet)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	file := traceOnDisk(t, tr).(*trace.FileSource)
+	mem := MemTraceSource(tr).(*trace.MemSource)
+	fd, err := file.Digest()
+	if err != nil {
+		t.Fatalf("file digest: %v", err)
+	}
+	md, err := mem.Digest()
+	if err != nil {
+		t.Fatalf("mem digest: %v", err)
+	}
+	if fd != md {
+		t.Errorf("digests differ: file=%s mem=%s", fd, md)
+	}
+	if len(fd) != len("sha256:")+64 || fd[:7] != "sha256:" {
+		t.Errorf("malformed digest %q", fd)
+	}
+	other := cfg
+	other.Workload.Scale = 8
+	tr2, _, err := CaptureTrace(other, IdealNet)
+	if err != nil {
+		t.Fatalf("capture 2: %v", err)
+	}
+	md2, err := MemTraceSource(tr2).(*trace.MemSource).Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md2 == md {
+		t.Error("distinct traces share a digest")
+	}
+}
+
+// TestSessionStreamReplayCache: streaming replays through a Session are
+// memoized by trace content — a second run of the same file is a cache hit,
+// and a MemSource of the same trace hits the entry the file computed.
+func TestSessionStreamReplayCache(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Parallelism.Stream = true
+	tr, _, err := CaptureTrace(cfg, IdealNet)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	file := traceOnDisk(t, tr)
+	s := NewSession("")
+
+	first, _, err := s.RunSelfCorrectionStream(cfg, file, Optical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.CacheStats().Hits; hits != 0 {
+		t.Fatalf("unexpected hits before re-run: %d", hits)
+	}
+	again, _, err := s.RunSelfCorrectionStream(cfg, file, Optical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Error("cached streaming correction differs from computed one")
+	}
+	if hits := s.CacheStats().Hits; hits != 1 {
+		t.Errorf("re-run hits = %d, want 1", hits)
+	}
+	fromMem, _, err := s.RunSelfCorrectionStream(cfg, MemTraceSource(tr), Optical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, fromMem) {
+		t.Error("mem-source run missed the file-source cache entry")
+	}
+	if hits := s.CacheStats().Hits; hits != 2 {
+		t.Errorf("cross-representation hits = %d, want 2", hits)
+	}
+
+	nv, _, err := s.RunNaiveReplayStream(cfg, file, Optical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv2, _, err := s.RunNaiveReplayStream(cfg, file, Optical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nv, nv2) {
+		t.Error("cached streaming naive replay differs")
+	}
+	if hits := s.CacheStats().Hits; hits != 3 {
+		t.Errorf("naive replay re-run hits = %d, want 3", hits)
+	}
+}
