@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check check test test-race bench bench-json bench-mem bench-incr report report-csv experiments-md examples clean
+.PHONY: all build vet fmt-check check test test-race loadtest bench bench-json bench-mem bench-incr report report-csv experiments-md examples clean
 
 all: build vet test test-race
 
@@ -37,9 +37,18 @@ test: vet
 # preset × shard count), the streaming decoders feeding per-shard runners
 # (internal/trace sources hand out concurrent passes), the fault
 # injector's lazily extended per-channel timelines under sharded replay,
-# and the analytic estimator's shared probe cache.
+# and the analytic estimator's shared probe cache. The service packages run
+# here too: the daemon's whole job is concurrent clients sharing one session
+# (single-flight dedup, the admission scheduler, the SSE hub).
 test-race:
-	$(GO) test -race ./internal/analytic/ ./internal/experiments/ ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/trace/ .
+	$(GO) test -race ./internal/analytic/ ./internal/experiments/ ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/trace/ ./internal/service/ ./cmd/onocsimd/ .
+
+# Service load harness: a burst of mixed cost-class requests against an
+# in-process daemon, asserting the cache absorbs the burst (flight count,
+# not latency — meaningful on noisy hosts) and that drain stays clean.
+# Scale the burst with ONOCSIMD_LOAD_CLIENTS.
+loadtest:
+	ONOCSIMD_LOAD_CLIENTS=$${ONOCSIMD_LOAD_CLIENTS:-64} $(GO) test -race ./internal/service/ -run TestLoadBurst -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -57,8 +66,8 @@ bench:
 # re-baseline, e.g. `make bench-json BENCH_OUT=tmp.json BENCH_BASE=BENCH_PR6.json`.
 # BENCH_TOLERANCE loosens the timing threshold on a noisy host
 # (`BENCH_TOLERANCE=40 make bench-json`); the counter gates stay strict.
-BENCH_OUT ?= BENCH_PR8.json
-BENCH_BASE ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR8.json
 BENCH_TOLERANCE ?= 25
 bench-json:
 	for i in 1 2 3; do $(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ || exit 1; done | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress $(BENCH_TOLERANCE)

@@ -21,6 +21,7 @@
 package onocsim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -171,6 +172,14 @@ type GroundTruth struct {
 // RunExecutionDriven runs the configured kernel workload execution-driven on
 // a fabric of the given kind and returns ground-truth metrics.
 func RunExecutionDriven(cfg Config, kind NetworkKind) (GroundTruth, error) {
+	return RunExecutionDrivenContext(context.Background(), cfg, kind)
+}
+
+// RunExecutionDrivenContext is RunExecutionDriven with cancellable admission:
+// if ctx ends while the call queues for a simulation slot, it returns the
+// context error without running. Once admitted, the run proceeds to
+// completion (execution-driven runs have no checkpoint to park at).
+func RunExecutionDrivenContext(ctx context.Context, cfg Config, kind NetworkKind) (GroundTruth, error) {
 	progs, err := workload.Generate(cfg)
 	if err != nil {
 		return GroundTruth{}, err
@@ -183,7 +192,9 @@ func RunExecutionDriven(cfg Config, kind NetworkKind) (GroundTruth, error) {
 	if err != nil {
 		return GroundTruth{}, err
 	}
-	acquireSimSlot()
+	if err := acquireSimSlotCtx(ctx); err != nil {
+		return GroundTruth{}, err
+	}
 	defer releaseSimSlot()
 	start := time.Now()
 	res, err := sys.Run(cfg.MaxCyclesOrDefault())
@@ -220,6 +231,12 @@ func clockGHz(cfg Config, kind NetworkKind) float64 {
 // capture fabric (by default the cheap ideal network) with recording enabled
 // and returns the dependency-annotated trace.
 func CaptureTrace(cfg Config, captureOn NetworkKind) (*Trace, time.Duration, error) {
+	return CaptureTraceContext(context.Background(), cfg, captureOn)
+}
+
+// CaptureTraceContext is CaptureTrace with cancellable slot admission; see
+// RunExecutionDrivenContext for the contract.
+func CaptureTraceContext(ctx context.Context, cfg Config, captureOn NetworkKind) (*Trace, time.Duration, error) {
 	progs, err := workload.Generate(cfg)
 	if err != nil {
 		return nil, 0, err
@@ -233,7 +250,9 @@ func CaptureTrace(cfg Config, captureOn NetworkKind) (*Trace, time.Duration, err
 	if err != nil {
 		return nil, 0, err
 	}
-	acquireSimSlot()
+	if err := acquireSimSlotCtx(ctx); err != nil {
+		return nil, 0, err
+	}
 	defer releaseSimSlot()
 	start := time.Now()
 	res, err := sys.Run(cfg.MaxCyclesOrDefault())
@@ -254,6 +273,12 @@ func CaptureTrace(cfg Config, captureOn NetworkKind) (*Trace, time.Duration, err
 // on the streaming decoder (window per cfg.Parallelism.WindowEvents).
 // Results are byte-identical across all three engines.
 func RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	return RunNaiveReplayContext(context.Background(), cfg, tr, kind)
+}
+
+// RunNaiveReplayContext is RunNaiveReplay with cancellable slot admission;
+// see RunExecutionDrivenContext for the contract.
+func RunNaiveReplayContext(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
 	if cfg.Parallelism.Stream {
 		return RunNaiveReplayStream(cfg, MemTraceSource(tr), kind)
 	}
@@ -262,7 +287,9 @@ func RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time
 		if err != nil {
 			return ReplayResult{}, 0, err
 		}
-		acquireSimSlot()
+		if err := acquireSimSlotCtx(ctx); err != nil {
+			return ReplayResult{}, 0, err
+		}
 		defer releaseSimSlot()
 		start := time.Now()
 		res, err := core.NaiveReplaySharded(factory, tr, shards)
@@ -272,7 +299,9 @@ func RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time
 	if err != nil {
 		return ReplayResult{}, 0, err
 	}
-	acquireSimSlot()
+	if err := acquireSimSlotCtx(ctx); err != nil {
+		return ReplayResult{}, 0, err
+	}
 	defer releaseSimSlot()
 	start := time.Now()
 	res, err := core.NaiveReplay(net, tr)
@@ -281,6 +310,12 @@ func RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time
 
 // RunCoupledReplay runs the tightly coupled dependency-driven replay.
 func RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	return RunCoupledReplayContext(context.Background(), cfg, tr, kind)
+}
+
+// RunCoupledReplayContext is RunCoupledReplay with cancellable slot
+// admission; see RunExecutionDrivenContext for the contract.
+func RunCoupledReplayContext(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
 	net, err := BuildNetwork(cfg, kind)
 	if err != nil {
 		return ReplayResult{}, 0, err
@@ -289,7 +324,9 @@ func RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, ti
 		DisableSyncDeps:   cfg.SCTM.DisableSyncDeps,
 		DisableCausalDeps: cfg.SCTM.DisableCausalDeps,
 	}
-	acquireSimSlot()
+	if err := acquireSimSlotCtx(ctx); err != nil {
+		return ReplayResult{}, 0, err
+	}
 	defer releaseSimSlot()
 	start := time.Now()
 	res, err := core.CoupledReplay(net, tr, opts)
@@ -314,11 +351,31 @@ func RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, ti
 // streaming path (cfg.Parallelism.Stream) keeps no fabric checkpoints —
 // resident memory is its whole point — and ignores the flag.
 func RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
+	return RunSelfCorrectionContext(context.Background(), cfg, tr, kind)
+}
+
+// ErrParked reports a self-correction run that stopped at a round boundary
+// because its context ended: the returned CorrectionResult holds the valid
+// partial trajectory (a byte-identical prefix of the full run), and
+// Converged is false. Parked results are never cached — rerunning the same
+// config resumes from scratch and, uncancelled, completes. Detect with
+// errors.Is(err, ErrParked).
+var ErrParked = core.ErrParked
+
+// RunSelfCorrectionContext is RunSelfCorrection with a cancellable lifecycle:
+// admission queueing aborts if ctx ends first, and a context that ends
+// mid-loop parks the correction at the next round boundary — the call
+// returns the partial trajectory plus an error wrapping ErrParked. The
+// streaming path (cfg.Parallelism.Stream) only honors ctx during admission;
+// once admitted it runs to completion.
+func RunSelfCorrectionContext(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
 	factory, err := NetworkFactory(cfg, kind)
 	if err != nil {
 		return CorrectionResult{}, 0, err
 	}
-	acquireSimSlot()
+	if err := acquireSimSlotCtx(ctx); err != nil {
+		return CorrectionResult{}, 0, err
+	}
 	defer releaseSimSlot()
 	start := time.Now()
 	var seed []sim.Tick
@@ -333,7 +390,7 @@ func RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResul
 			cfg.Parallelism.Shards, cfg.Parallelism.WindowEvents, seed)
 		return res, time.Since(start), err
 	}
-	res, err := core.SelfCorrectShardedSeeded(factory, tr, cfg.SCTM, cfg.Parallelism.Shards, seed)
+	res, err := core.SelfCorrectShardedSeededCtx(ctx, factory, tr, cfg.SCTM, cfg.Parallelism.Shards, seed)
 	return res, time.Since(start), err
 }
 
@@ -374,17 +431,31 @@ type Study struct {
 	SCTMWall    time.Duration
 }
 
-// simSlots bounds the simulation phases running concurrently across the
+// simSched bounds the simulation phases running concurrently across the
 // whole process: every timed leaf operation (execution-driven run, capture,
 // replay, synthetic drive) holds one slot for its entire timed region, so
 // per-phase wall clocks stay honest even when studies pipeline — or the
 // experiment scheduler fans whole experiments out — on an oversubscribed
 // host. Leaf operations never nest, so a goroutine holds at most one slot
-// and the semaphore cannot deadlock.
-var simSlots = make(chan struct{}, runtime.NumCPU())
+// and the scheduler cannot deadlock. What used to be a plain channel
+// semaphore is now a SlotScheduler so the context-aware entry points can
+// abandon a queued claim when their client disconnects; uncancellable
+// callers pass context.Background() and behave exactly as before. Leaf
+// slots are all one class and one unit — the weighted classes exist for
+// request-level admission (internal/service), which runs its own scheduler
+// instance over its own budget.
+var simSched = NewSlotScheduler(runtime.NumCPU())
 
-func acquireSimSlot() { simSlots <- struct{}{} }
-func releaseSimSlot() { <-simSlots }
+func acquireSimSlot() { _ = simSched.Acquire(context.Background(), SlotMedium, 1) }
+
+// acquireSimSlotCtx is the cancellable acquire: a caller whose context ends
+// while it queues releases its admission claim and returns the context
+// error instead of running an orphaned simulation.
+func acquireSimSlotCtx(ctx context.Context) error {
+	return simSched.Acquire(ctx, SlotMedium, 1)
+}
+
+func releaseSimSlot() { simSched.Release(1) }
 
 // RunStudy executes the complete methodology comparison: capture the trace
 // on the cheap reference fabric, measure execution-driven ground truth on
@@ -392,6 +463,12 @@ func releaseSimSlot() { <-simSlots }
 // uncached form of Session.RunStudy; see there for the pipeline shape.
 func RunStudy(cfg Config, target NetworkKind) (*Study, error) {
 	return (*Session)(nil).RunStudy(cfg, target)
+}
+
+// RunStudyContext is RunStudy with a cancellable lifecycle; see
+// Session.RunStudyContext for the contract.
+func RunStudyContext(ctx context.Context, cfg Config, target NetworkKind) (*Study, error) {
+	return (*Session)(nil).RunStudyContext(ctx, cfg, target)
 }
 
 // RunSyntheticLoad drives a fresh fabric of the given kind open-loop with

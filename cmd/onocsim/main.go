@@ -24,6 +24,7 @@ import (
 	"onocsim/internal/config"
 	"onocsim/internal/metrics"
 	"onocsim/internal/prof"
+	"onocsim/internal/report"
 )
 
 func main() {
@@ -118,7 +119,8 @@ func run(cfgPath, network, mode, format, faults, seedMode string, dumpConfig boo
 
 	// Both modes build one typed table; ascii and json are two renderings of
 	// it, so the JSON carries the same values (with kinds and units) that the
-	// terminal shows.
+	// terminal shows. The builders live in internal/report, shared with the
+	// onocsimd service so both front ends render identically.
 	var t *metrics.Table
 	switch mode {
 	case "exec":
@@ -126,46 +128,14 @@ func run(cfgPath, network, mode, format, faults, seedMode string, dumpConfig boo
 		if err != nil {
 			return err
 		}
-		t = metrics.NewTable(fmt.Sprintf("execution-driven run — %s, %s, %d cores",
-			cfg.Workload.Kernel, kind, cfg.System.Cores), "metric", "value")
-		t.AddCells(metrics.String("makespan (cycles)"), metrics.Int(int64(res.Makespan), "cycles"))
-		t.AddCells(metrics.String("mean msg latency (cycles)"), metrics.Float(res.MeanLatency, 2, "cycles"))
-		t.AddCells(metrics.String("network messages"), metrics.Int(int64(res.Messages), "messages"))
-		t.AddCells(metrics.String("simulated cycles"), metrics.Int(int64(res.Cycles), "cycles"))
-		t.AddCells(metrics.String("mean latency by class"), metrics.Stringf("req %.1f / resp %.1f / wb %.1f",
-			res.ClassLatency[0], res.ClassLatency[1], res.ClassLatency[2]))
-		t.AddCells(metrics.String("host wall time"), metrics.DurationText(res.WallTime))
-		t.AddCells(metrics.String("network power (mW)"), metrics.Stringf("%.1f static + %.2f dynamic",
-			res.Power.StaticMW, res.Power.DynamicMW))
-		if cfg.Faults.Enabled() {
-			t.AddCells(metrics.String("fault events"), metrics.Stringf("%d token losses / %d drifted / %d derated / %d rerouted",
-				res.Faults.TokenLosses, res.Faults.DriftedSends, res.Faults.DeratedSends, res.Faults.Rerouted))
-		}
+		t = report.Exec(cfg, kind, res)
 
 	case "study":
 		study, err := onocsim.RunStudy(cfg, kind)
 		if err != nil {
 			return err
 		}
-		t = metrics.NewTable(fmt.Sprintf("methodology study — %s on %s, %d cores",
-			study.Workload, kind, cfg.System.Cores),
-			"method", "makespan", "err vs truth", "mean lat", "host time")
-		t.AddCells(metrics.String("execution-driven (truth)"), metrics.Int(int64(study.Truth.Makespan), "cycles"),
-			metrics.String("—"),
-			metrics.Float(study.Truth.MeanLatency, 1, "cycles"), metrics.DurationText(study.Truth.WallTime))
-		t.AddCells(metrics.String("naive trace replay"), metrics.Int(int64(study.Naive.Makespan), "cycles"),
-			metrics.Percent(study.NaiveAcc.MakespanErr),
-			metrics.Float(study.Naive.MeanLatency, 1, "cycles"), metrics.DurationText(study.NaiveWall))
-		t.AddCells(metrics.String("self-correction trace model"), metrics.Int(int64(study.SCTM.Final.Makespan), "cycles"),
-			metrics.Percent(study.SCTMAcc.MakespanErr),
-			metrics.Float(study.SCTM.Final.MeanLatency, 1, "cycles"), metrics.DurationText(study.SCTMWall))
-		t.AddCells(metrics.String("coupled replay (reference)"), metrics.Int(int64(study.Coupled.Makespan), "cycles"),
-			metrics.Percent(study.CoupAcc.MakespanErr),
-			metrics.Float(study.Coupled.MeanLatency, 1, "cycles"), metrics.DurationText(study.CoupledWall))
-		t.Note("trace: %d events captured on the %s fabric in %s",
-			study.Trace.NumEvents(), config.NetIdeal, study.CaptureWall)
-		t.Note("self-correction: %d rounds, converged=%v, %d events replayed (%d cycles skipped by checkpoints)",
-			len(study.SCTM.Iterations), study.SCTM.Converged, study.SCTM.ReplayedEvents, study.SCTM.SavedCycles)
+		t = report.Study(cfg, kind, study)
 
 	default:
 		return fmt.Errorf("unknown mode %q (want exec or study)", mode)

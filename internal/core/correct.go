@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/pprof"
 	"strconv"
@@ -148,16 +149,45 @@ func SelfCorrectSharded(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM
 // SelfCorrectShardedSeeded combines SelfCorrectSharded's parallel replay
 // rounds with SelfCorrectSeeded's external round-0 seed.
 func SelfCorrectShardedSeeded(factory NetworkFactory, tr *trace.Trace, cfg config.SCTM, shards int, seed []sim.Tick) (CorrectionResult, error) {
-	if shards <= 1 {
-		return SelfCorrectSeeded(factory, tr, cfg, seed)
+	return SelfCorrectShardedSeededCtx(context.Background(), factory, tr, cfg, shards, seed)
+}
+
+// ErrParked reports a correction loop stopped cooperatively at a round
+// boundary because its context ended before the fixpoint was reached. The
+// accompanying CorrectionResult is the valid partial trajectory up to the
+// park point (Converged false); callers that memoize results must treat a
+// parked result as uncacheable — it reflects where the loop stopped, not
+// what the configuration converges to.
+var ErrParked = errors.New("core: self-correction parked before convergence")
+
+// SelfCorrectShardedSeededCtx is SelfCorrectShardedSeeded with cooperative
+// cancellation: the loop checks ctx at every round boundary — the same
+// boundaries the incremental engine checkpoints at — and, once ctx is done,
+// parks instead of starting another round. A parked run returns the partial
+// CorrectionResult together with an error wrapping ErrParked and ctx's
+// error. Replay rounds themselves are never interrupted mid-flight, so a
+// park costs at most one round of latency and the partial trajectory is
+// byte-identical to a prefix of the uncancelled run's.
+func SelfCorrectShardedSeededCtx(ctx context.Context, factory NetworkFactory, tr *trace.Trace, cfg config.SCTM, shards int, seed []sim.Tick) (CorrectionResult, error) {
+	var runner roundRunner
+	switch {
+	case shards <= 1 && cfg.Incremental:
+		runner = newIncrSerial(factory)
+	case shards <= 1:
+		runner = &serialRounds{src: netSource{factory: factory}}
+	case cfg.Incremental:
+		runner = newIncrSharded(factory, shards)
+	default:
+		runner = NewShardedReplayer(factory, shards)
 	}
-	if cfg.Incremental {
-		return selfCorrect(newIncrSharded(factory, shards), tr, cfg, seed)
-	}
-	return selfCorrect(NewShardedReplayer(factory, shards), tr, cfg, seed)
+	return selfCorrectCtx(ctx, runner, tr, cfg, seed)
 }
 
 func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []sim.Tick) (CorrectionResult, error) {
+	return selfCorrectCtx(context.Background(), runner, tr, cfg, seed)
+}
+
+func selfCorrectCtx(ctx context.Context, runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []sim.Tick) (CorrectionResult, error) {
 	if err := tr.Validate(); err != nil {
 		return CorrectionResult{}, fmt.Errorf("core: invalid trace: %w", err)
 	}
@@ -185,6 +215,7 @@ func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []si
 	if w, ok := runner.(interface{ work() (int, sim.Tick) }); ok {
 		hooks.work = w.work
 	}
+	hooks.stop = ctx.Err
 	return correctionLoop(hooks, cfg, seed)
 }
 
@@ -202,6 +233,9 @@ type correctionHooks struct {
 	// cycles) counters for CorrectionResult. Runners without it (full
 	// replay) default to events×rounds replayed, zero saved.
 	work func() (int, sim.Tick)
+	// stop, when non-nil, is polled at every round boundary; a non-nil
+	// return parks the loop there (see ErrParked). Typically ctx.Err.
+	stop func() error
 }
 
 // correctionLoop is the fixpoint iteration shared by SelfCorrect and its
@@ -264,6 +298,18 @@ func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (Correc
 		return CorrectionResult{}, fmt.Errorf("core: deriving schedule: %w", err)
 	}
 	for round := 0; round < cfg.MaxIterations; round++ {
+		// Park point: the round boundary is where the incremental engine
+		// checkpoints, so stopping here loses at most the round that was
+		// about to start, never work already done. The partial result is
+		// returned alongside the error — callers decide whether the
+		// trajectory so far is worth reporting.
+		if h.stop != nil {
+			if cause := h.stop(); cause != nil {
+				finish()
+				return out, fmt.Errorf("%w after %d of %d rounds: %v",
+					ErrParked, len(out.Iterations), cfg.MaxIterations, cause)
+			}
+		}
 		var res ReplayResult
 		if err := labeled(round, "replay", func() (err error) {
 			res, err = h.run(prev)

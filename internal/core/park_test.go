@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"onocsim/internal/config"
+)
+
+// countdownCtx reports Canceled after a fixed number of Err polls, letting a
+// test park the correction loop at an exact round boundary.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining > 0 {
+		c.remaining--
+		return nil
+	}
+	return context.Canceled
+}
+
+// neverConverge disables both convergence criteria so the loop always runs
+// its full iteration budget: delta can never be ≤ -1.
+func neverConverge(cfg config.SCTM) config.SCTM {
+	cfg.ToleranceCycles = -1
+	cfg.MakespanTolerance = 0
+	return cfg
+}
+
+func TestSelfCorrectParksOnDeadContext(t *testing.T) {
+	tr := chainTrace()
+	cfg := config.Default().SCTM
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SelfCorrectShardedSeededCtx(ctx, idealFactory(4, 20), tr, cfg, 1, nil)
+	if !errors.Is(err, ErrParked) {
+		t.Fatalf("err = %v, want ErrParked", err)
+	}
+	if len(res.Iterations) != 0 || res.Converged {
+		t.Fatalf("dead-context park ran rounds: %+v", res)
+	}
+}
+
+// Parking returns the valid partial trajectory: the parked run's iterations
+// are byte-identical to a prefix of the uncancelled run's.
+func TestSelfCorrectParkedPrefixMatchesFullRun(t *testing.T) {
+	tr := chainTrace()
+	cfg := neverConverge(config.Default().SCTM)
+	cfg.MaxIterations = 8
+	cfg.InitialLatencyCycles = 3
+
+	full, err := SelfCorrectShardedSeededCtx(context.Background(), idealFactory(4, 20), tr, cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Converged || len(full.Iterations) != 8 {
+		t.Fatalf("reference run unexpectedly converged: %+v", full)
+	}
+
+	const parkAfter = 3
+	ctx := &countdownCtx{Context: context.Background(), remaining: parkAfter}
+	parked, err := SelfCorrectShardedSeededCtx(ctx, idealFactory(4, 20), tr, cfg, 1, nil)
+	if !errors.Is(err, ErrParked) {
+		t.Fatalf("err = %v, want ErrParked", err)
+	}
+	if parked.Converged {
+		t.Fatal("parked run claims convergence")
+	}
+	if len(parked.Iterations) != parkAfter {
+		t.Fatalf("parked after %d rounds, want %d", len(parked.Iterations), parkAfter)
+	}
+	if !reflect.DeepEqual(parked.Iterations, full.Iterations[:parkAfter]) {
+		t.Fatalf("parked trajectory diverged:\n got %+v\nwant %+v", parked.Iterations, full.Iterations[:parkAfter])
+	}
+	if parked.Final.Makespan != full.Iterations[parkAfter-1].Makespan {
+		t.Fatalf("parked Final.Makespan = %d, want round %d's %d",
+			parked.Final.Makespan, parkAfter-1, full.Iterations[parkAfter-1].Makespan)
+	}
+	// Work counters account for exactly the rounds performed.
+	if parked.ReplayedEvents != len(tr.Events)*parkAfter {
+		t.Fatalf("ReplayedEvents = %d, want %d", parked.ReplayedEvents, len(tr.Events)*parkAfter)
+	}
+}
+
+// A Background context can never park: the ctx path is byte-identical to
+// the classic entry points for every runner configuration.
+func TestSelfCorrectCtxBackgroundIdentical(t *testing.T) {
+	tr := chainTrace()
+	cfg := config.Default().SCTM
+	cfg.MakespanTolerance = 0
+	for _, shards := range []int{1, 2} {
+		for _, incr := range []bool{false, true} {
+			cfg.Incremental = incr
+			want, err := SelfCorrectShardedSeeded(idealFactory(4, 20), tr, cfg, shards, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SelfCorrectShardedSeededCtx(context.Background(), idealFactory(4, 20), tr, cfg, shards, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d incr=%v: ctx path diverged:\n got %+v\nwant %+v", shards, incr, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"onocsim"
+)
+
+// hub fans the shared session's progress events out to every streaming
+// request. Sends are non-blocking: a subscriber that stops draining its
+// channel loses events (counted in dropped) instead of stalling the
+// simulation goroutines delivering them — progress is advisory, results are
+// not.
+//
+// Events are session-wide, not per-request: the whole point of the daemon is
+// that concurrent requests for the same config share one computation, so a
+// client deduplicated onto another request's flight streams that flight's
+// events. Clients that care can correlate on the event's sim key.
+type hub struct {
+	mu      sync.Mutex
+	subs    map[chan onocsim.ProgressEvent]struct{}
+	dropped atomic.Uint64
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan onocsim.ProgressEvent]struct{})}
+}
+
+// Event implements onocsim.Progress.
+func (h *hub) Event(ev onocsim.ProgressEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+}
+
+// subscribe registers an event channel. The returned cancel unsubscribes;
+// the channel is never closed — receivers select on their own context.
+func (h *hub) subscribe() (<-chan onocsim.ProgressEvent, func()) {
+	ch := make(chan onocsim.ProgressEvent, 64)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+}

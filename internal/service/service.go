@@ -1,0 +1,565 @@
+// Package service implements onocsimd, the simulation-as-a-service daemon:
+// a long-lived HTTP server over one shared onocsim.Session. Clients POST
+// validated config documents; results are keyed by config fingerprint, so
+// identical requests — concurrent or not — share one computation through the
+// session's single-flight cache, and repeats are served from the
+// content-addressed disk layer. Admission is budgeted by a weighted fair
+// scheduler (onocsim.SlotScheduler): each request is priced by its cost
+// class, heavy sweeps cannot starve cheap probes, and a client that
+// disconnects while queued releases its claim.
+//
+// Endpoints:
+//
+//	GET  /healthz               — liveness + drain state
+//	GET  /v1/stats              — cache, scheduler and request counters
+//	GET  /v1/experiments        — the experiment registry
+//	POST /v1/experiments/{id}   — run one registry experiment
+//	POST /v1/simulate           — run one simulation (op: exec | study |
+//	                              correct | estimate)
+//
+// Any POST streams progress as Server-Sent Events when the client asks for
+// text/event-stream (Accept header or ?stream=sse): `event: progress` lines
+// while simulations resolve, then one `event: result` (or `event: error`).
+// Otherwise the response is a single JSON envelope.
+//
+// Shutdown is graceful: Drain makes new requests 503, then ends the drain
+// context merged into every in-flight request, which parks long
+// self-correction loops at their next round boundary (onocsim.ErrParked).
+// Parked partial results are returned to their clients with status "parked"
+// and are never cached.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"onocsim"
+	"onocsim/internal/config"
+	"onocsim/internal/experiments"
+	"onocsim/internal/metrics"
+	"onocsim/internal/report"
+	"onocsim/internal/simcache"
+)
+
+// ResponseVersion guards the service's JSON envelopes against schema drift,
+// exactly like metrics.TableFormatVersion guards the table payload inside.
+const ResponseVersion = 1
+
+// errDraining is the cancellation cause a draining server injects into
+// in-flight request contexts, and the refusal for new work.
+var errDraining = errors.New("service: server draining")
+
+// Config configures a Server.
+type Config struct {
+	// CacheDir optionally enables the session's content-addressed disk
+	// layer; "" keeps results in memory only.
+	CacheDir string
+	// Budget is the admission budget in cost units (light 1, medium 2,
+	// heavy 4); <= 0 selects 2×GOMAXPROCS. The budget bounds concurrently
+	// admitted requests; within a request, leaf simulations are further
+	// bounded by the library's process-wide slot scheduler.
+	Budget int
+	// Quick shrinks experiment sweeps (experiments.Options.Quick) — meant
+	// for tests and load harnesses, not production service.
+	Quick bool
+}
+
+// Server is the daemon's state: one shared session, one admission scheduler,
+// one progress hub. Construct with New; serve via Handler.
+type Server struct {
+	session *onocsim.Session
+	sched   *onocsim.SlotScheduler
+	hub     *hub
+	mux     *http.ServeMux
+	quick   bool
+	start   time.Time
+
+	drainCtx    context.Context
+	drainCancel context.CancelCauseFunc
+
+	mu       sync.Mutex
+	draining bool
+
+	requests atomic.Uint64
+}
+
+// New builds a Server over a fresh session.
+func New(cfg Config) *Server {
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = 2 * runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		session: onocsim.NewSession(cfg.CacheDir),
+		sched:   onocsim.NewSlotScheduler(budget),
+		hub:     newHub(),
+		mux:     http.NewServeMux(),
+		quick:   cfg.Quick,
+		start:   time.Now(),
+	}
+	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
+	s.session.SetProgress(s.hub)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperimentRun)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain moves the server into shutdown: new POSTs are refused with 503, and
+// the drain context merged into every in-flight request ends, parking long
+// self-correction loops at their next round boundary. Call before
+// http.Server.Shutdown, which then waits for the in-flight handlers to
+// finish writing their (possibly parked) responses. Idempotent.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.drainCancel(errDraining)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// requestCtx merges the client's context with the server's drain context:
+// the returned context ends when the client disconnects or the server
+// drains, whichever first. The cleanup must be deferred.
+func (s *Server) requestCtx(r *http.Request) (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(r.Context())
+	stop := context.AfterFunc(s.drainCtx, func() { cancel(errDraining) })
+	return ctx, func() { stop(); cancel(nil) }
+}
+
+// admission maps a registry cost class to the scheduler's pricing. The
+// weights are deliberately coarse: they exist to keep a burst of heavy
+// sweeps from monopolizing the budget, not to model cost precisely.
+func admission(c experiments.CostClass) (onocsim.SlotClass, int) {
+	switch c {
+	case experiments.CostLight:
+		return onocsim.SlotLight, 1
+	case experiments.CostHeavy:
+		return onocsim.SlotHeavy, 4
+	default:
+		return onocsim.SlotMedium, 2
+	}
+}
+
+// opAdmission prices the simulate ops on the same scale.
+func opAdmission(op string) (onocsim.SlotClass, int) {
+	switch op {
+	case "study":
+		return onocsim.SlotHeavy, 4
+	case "estimate":
+		return onocsim.SlotLight, 1
+	default: // exec, correct
+		return onocsim.SlotMedium, 2
+	}
+}
+
+// resultEnvelope is the service's versioned JSON result document. Table is
+// the operation's metrics.Table in its own versioned JSON format — the same
+// bytes `onocsim -format json` prints, since both front ends share
+// internal/report.
+type resultEnvelope struct {
+	Version     int             `json:"version"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Op          string          `json:"op"`
+	Network     string          `json:"network,omitempty"`
+	Status      string          `json:"status"`
+	ElapsedMS   int64           `json:"elapsed_ms"`
+	Table       json.RawMessage `json:"table"`
+}
+
+// envelope assembles a result document around a rendered table.
+func envelope(op, network, fingerprint, status string, elapsed time.Duration, t *metrics.Table) (resultEnvelope, error) {
+	var buf bytes.Buffer
+	if err := t.WriteJSON(&buf); err != nil {
+		return resultEnvelope{}, err
+	}
+	return resultEnvelope{
+		Version:     ResponseVersion,
+		Fingerprint: fingerprint,
+		Op:          op,
+		Network:     network,
+		Status:      status,
+		ElapsedMS:   elapsed.Milliseconds(),
+		Table:       json.RawMessage(buf.Bytes()),
+	}, nil
+}
+
+// apiError carries an HTTP status with a client-facing message.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// httpStatus maps an error to its response code: explicit apiErrors keep
+// their code, lifecycle errors (drain, client disconnect, admission refusal)
+// are 503, everything else is a 500.
+func httpStatus(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.code
+	}
+	if errors.Is(err, errDraining) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(err), map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    status,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// statsResponse is the /v1/stats document.
+type statsResponse struct {
+	Version       int               `json:"version"`
+	UptimeMS      int64             `json:"uptime_ms"`
+	Requests      uint64            `json:"requests"`
+	Draining      bool              `json:"draining"`
+	Cache         simcache.Stats    `json:"cache"`
+	Scheduler     onocsim.SlotStats `json:"scheduler"`
+	DroppedEvents uint64            `json:"dropped_events"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Version:       ResponseVersion,
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+		Requests:      s.requests.Load(),
+		Draining:      s.Draining(),
+		Cache:         s.session.CacheStats(),
+		Scheduler:     s.sched.Stats(),
+		DroppedEvents: s.hub.dropped.Load(),
+	})
+}
+
+// experimentInfo is one /v1/experiments listing entry.
+type experimentInfo struct {
+	ID      string `json:"id"`
+	Title   string `json:"title"`
+	Summary string `json:"summary"`
+	Cost    string `json:"cost"`
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	reg := experiments.Registry()
+	out := make([]experimentInfo, 0, len(reg))
+	for _, d := range reg {
+		out = append(out, experimentInfo{ID: d.ID, Title: d.Title, Summary: d.Summary, Cost: string(d.CostClass)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"version": ResponseVersion, "experiments": out})
+}
+
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.Draining() {
+		writeError(w, errDraining)
+		return
+	}
+	id := r.PathValue("id")
+	d, ok := experiments.Lookup(id)
+	if !ok {
+		writeError(w, &apiError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown experiment %q", id)})
+		return
+	}
+	ctx, cleanup := s.requestCtx(r)
+	defer cleanup()
+	class, units := admission(d.CostClass)
+	if err := s.sched.Acquire(ctx, class, units); err != nil {
+		writeError(w, fmt.Errorf("admission: %w", err))
+		return
+	}
+	defer s.sched.Release(units)
+	s.respond(w, r, func() (resultEnvelope, error) {
+		start := time.Now()
+		// Experiments are cancellable at admission and between their leaf
+		// simulations (each queues on the process-wide slot scheduler under
+		// the session), but a leaf that is already running completes.
+		t, err := experiments.ByName(id, experiments.Options{
+			Session:  s.session,
+			Quick:    s.quick,
+			Progress: s.hub,
+		})
+		if err != nil {
+			return resultEnvelope{}, err
+		}
+		return envelope("experiment:"+id, "", "", "ok", time.Since(start), t)
+	})
+}
+
+// simulateRequest is the /v1/simulate body. Config is a full config
+// document in the same JSON schema as `onocsim -config` files (validated,
+// unknown fields rejected); omitted, the baseline config is used.
+type simulateRequest struct {
+	Op      string          `json:"op"`
+	Network string          `json:"network"`
+	Config  json.RawMessage `json:"config"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.Draining() {
+		writeError(w, errDraining)
+		return
+	}
+	var req simulateRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, badRequestf("decode request: %v", err))
+		return
+	}
+	switch req.Op {
+	case "exec", "study", "correct", "estimate":
+	default:
+		writeError(w, badRequestf("unknown op %q (want exec, study, correct or estimate)", req.Op))
+		return
+	}
+	cfg := onocsim.DefaultConfig()
+	if len(req.Config) > 0 {
+		var err error
+		cfg, err = config.Parse(req.Config)
+		if err != nil {
+			writeError(w, badRequestf("%v", err))
+			return
+		}
+	}
+	kind := cfg.Network
+	if req.Network != "" {
+		kind = onocsim.NetworkKind(req.Network)
+	}
+	if err := onocsim.ValidateNetworkKind(cfg, kind); err != nil {
+		writeError(w, badRequestf("%v", err))
+		return
+	}
+	cfg.Network = kind
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	ctx, cleanup := s.requestCtx(r)
+	defer cleanup()
+	class, units := opAdmission(req.Op)
+	if err := s.sched.Acquire(ctx, class, units); err != nil {
+		writeError(w, fmt.Errorf("admission: %w", err))
+		return
+	}
+	defer s.sched.Release(units)
+
+	s.respond(w, r, func() (resultEnvelope, error) {
+		start := time.Now()
+		t, status, err := s.compute(ctx, req.Op, cfg, kind)
+		if err != nil {
+			return resultEnvelope{}, err
+		}
+		return envelope(req.Op, string(kind), fp, status, time.Since(start), t)
+	})
+}
+
+// compute runs one simulate op through the shared session. Deduplicated
+// flights self-heal: when a request is deduplicated onto another client's
+// computation and that client disconnects (killing the flight with a
+// cancellation or a park), the still-connected request retries the — now
+// vacant — flight itself, up to twice. A park caused by this request's own
+// lifecycle (client gone or server draining) is terminal and returns the
+// partial result with status "parked".
+func (s *Server) compute(ctx context.Context, op string, cfg onocsim.Config, kind onocsim.NetworkKind) (*metrics.Table, string, error) {
+	for attempt := 0; ; attempt++ {
+		t, status, err := s.computeOnce(ctx, op, cfg, kind)
+		if err == nil {
+			return t, status, nil
+		}
+		if errors.Is(err, onocsim.ErrParked) && t != nil {
+			// This request's own computation parked and carried its partial
+			// trajectory out; report it rather than retrying a dying server.
+			return t, "parked", nil
+		}
+		retryable := errors.Is(err, context.Canceled) || errors.Is(err, onocsim.ErrParked)
+		if !retryable || attempt >= 2 || ctx.Err() != nil {
+			return nil, "", err
+		}
+	}
+}
+
+func (s *Server) computeOnce(ctx context.Context, op string, cfg onocsim.Config, kind onocsim.NetworkKind) (*metrics.Table, string, error) {
+	switch op {
+	case "exec":
+		res, err := s.session.RunExecutionDrivenContext(ctx, cfg, kind)
+		if err != nil {
+			return nil, "", err
+		}
+		return report.Exec(cfg, kind, res), "ok", nil
+	case "study":
+		st, err := s.session.RunStudyContext(ctx, cfg, kind)
+		if err != nil {
+			return nil, "", err
+		}
+		return report.Study(cfg, kind, st), "ok", nil
+	case "correct":
+		tr, _, err := s.session.CaptureTraceContext(ctx, cfg, onocsim.IdealNet)
+		if err != nil {
+			return nil, "", err
+		}
+		res, wall, err := s.session.RunSelfCorrectionContext(ctx, cfg, tr, kind)
+		if err != nil {
+			if errors.Is(err, onocsim.ErrParked) && len(res.Iterations) > 0 {
+				// The partial trajectory came back with the park: render it.
+				return report.Correction(cfg, kind, res, wall, true), "parked", err
+			}
+			return nil, "", err
+		}
+		return report.Correction(cfg, kind, res, wall, false), "ok", nil
+	case "estimate":
+		tr, _, err := s.session.CaptureTraceContext(ctx, cfg, onocsim.IdealNet)
+		if err != nil {
+			return nil, "", err
+		}
+		res, wall, err := s.session.Estimate(cfg, tr, kind)
+		if err != nil {
+			return nil, "", err
+		}
+		return report.Estimate(cfg, kind, res, wall), "ok", nil
+	default:
+		return nil, "", badRequestf("unknown op %q", op)
+	}
+}
+
+// wantsSSE reports whether the client asked for an event stream.
+func wantsSSE(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "sse" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// respond runs compute and delivers its result: as one JSON document, or —
+// when the client asked for SSE — as a progress stream terminated by a
+// result (or error) event.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, compute func() (resultEnvelope, error)) {
+	fl, canFlush := w.(http.Flusher)
+	if !wantsSSE(r) || !canFlush {
+		env, err := compute()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, env)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	events, unsubscribe := s.hub.subscribe()
+	defer unsubscribe()
+	done := make(chan struct{})
+	var env resultEnvelope
+	var cerr error
+	go func() {
+		defer close(done)
+		env, cerr = compute()
+	}()
+	for {
+		select {
+		case ev := <-events:
+			writeSSE(w, "progress", toWire(ev))
+			fl.Flush()
+		case <-done:
+			if cerr != nil {
+				writeSSE(w, "error", map[string]string{"error": cerr.Error()})
+			} else {
+				writeSSE(w, "result", env)
+			}
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			// Client gone: stop streaming. The computation goroutine holds
+			// the merged context and winds down on its own.
+			<-done
+			return
+		}
+	}
+}
+
+// wireEvent is a ProgressEvent flattened for the wire (Err as a string).
+type wireEvent struct {
+	Kind       string `json:"kind"`
+	Experiment string `json:"experiment,omitempty"`
+	Title      string `json:"title,omitempty"`
+	Sim        string `json:"sim,omitempty"`
+	Op         string `json:"op,omitempty"`
+	Err        string `json:"err,omitempty"`
+	ElapsedMS  int64  `json:"elapsed_ms,omitempty"`
+}
+
+func toWire(ev onocsim.ProgressEvent) wireEvent {
+	out := wireEvent{
+		Kind:       ev.Kind.String(),
+		Experiment: ev.Experiment,
+		Title:      ev.Title,
+		Sim:        ev.Sim,
+		Op:         ev.Op,
+		ElapsedMS:  ev.Elapsed.Milliseconds(),
+	}
+	if ev.Err != nil {
+		out.Err = ev.Err.Error()
+	}
+	return out
+}
+
+// writeSSE emits one Server-Sent Event with a JSON data payload.
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(`{"error":"marshal failure"}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

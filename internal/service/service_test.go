@@ -1,0 +1,339 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// smallSim is a fast /v1/simulate body for op on the optical fabric.
+func smallSim(op string) string {
+	return fmt.Sprintf(`{"op":%q,"network":"optical","config":{
+		"system":{"cores":16},
+		"workload":{"kernel":"stencil","scale":4,"iterations":2},
+		"max_cycles":5000000}}`, op)
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Config{Quick: true})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func serverStats(t *testing.T, ts *httptest.Server) statsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// The tentpole's acceptance test: N clients POST the same config
+// concurrently; the daemon runs the simulation exactly once (single-flight
+// across HTTP) and every client receives a byte-identical versioned result.
+func TestSimulateConcurrentDedup(t *testing.T) {
+	_, ts := newTestServer(t)
+	const n = 8
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			codes[i], bodies[i] = postJSON(t, ts.URL+"/v1/simulate", smallSim("exec"))
+		}()
+	}
+	wg.Wait()
+	// Every client gets the same versioned result document; elapsed_ms is
+	// per-request metadata, the table must be byte-identical.
+	var env resultEnvelope
+	if err := json.Unmarshal(bodies[0], &env); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		var got resultEnvelope
+		if err := json.Unmarshal(bodies[i], &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Fingerprint != env.Fingerprint || got.Status != env.Status || !bytes.Equal(got.Table, env.Table) {
+			t.Fatalf("client %d received a different result:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if env.Version != ResponseVersion || env.Status != "ok" || env.Op != "exec" || env.Fingerprint == "" {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+	st := serverStats(t, ts)
+	if st.Cache.Misses != 1 {
+		t.Fatalf("computed %d times for %d identical requests, want exactly 1", st.Cache.Misses, n)
+	}
+	if st.Cache.Hits+st.Cache.Waits == 0 {
+		t.Fatalf("no request was deduplicated: %+v", st.Cache)
+	}
+	if st.Requests < n {
+		t.Fatalf("request counter %d < %d", st.Requests, n)
+	}
+}
+
+// A repeated request after the flight settles is a pure cache hit and still
+// returns the identical document.
+func TestSimulateRepeatHitsCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, first := postJSON(t, ts.URL+"/v1/simulate", smallSim("estimate"))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, first)
+	}
+	misses := serverStats(t, ts).Cache.Misses
+	code, second := postJSON(t, ts.URL+"/v1/simulate", smallSim("estimate"))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, second)
+	}
+	var a, b resultEnvelope
+	if err := json.Unmarshal(first, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Table, b.Table) {
+		t.Fatalf("cached result differs:\n%s\nvs\n%s", a.Table, b.Table)
+	}
+	if got := serverStats(t, ts).Cache.Misses; got != misses {
+		t.Fatalf("repeat request recomputed: misses %d -> %d", misses, got)
+	}
+}
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	event string
+	data  []byte
+}
+
+// readSSE consumes a text/event-stream body into parsed events.
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" {
+				out = append(out, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = append(cur.data, strings.TrimPrefix(line, "data: ")...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSimulateSSEStreamsProgressThenResult(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/simulate?stream=sse", "application/json", strings.NewReader(smallSim("exec")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	events := readSSE(t, resp)
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	last := events[len(events)-1]
+	if last.event != "result" {
+		t.Fatalf("stream did not end with a result event: %+v", last)
+	}
+	var env resultEnvelope
+	if err := json.Unmarshal(last.data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != "ok" || env.Version != ResponseVersion {
+		t.Fatalf("bad streamed envelope: %+v", env)
+	}
+	sawProgress := false
+	for _, ev := range events[:len(events)-1] {
+		if ev.event != "progress" {
+			t.Fatalf("unexpected event %q before result", ev.event)
+		}
+		var we wireEvent
+		if err := json.Unmarshal(ev.data, &we); err != nil {
+			t.Fatalf("bad progress payload %s: %v", ev.data, err)
+		}
+		if we.Kind == "computed" {
+			sawProgress = true
+		}
+	}
+	if !sawProgress {
+		t.Fatal("no computed progress event streamed for a fresh simulation")
+	}
+	// The streamed result table is byte-identical to the plain-JSON one.
+	_, plain := postJSON(t, ts.URL+"/v1/simulate", smallSim("exec"))
+	var plainEnv resultEnvelope
+	if err := json.Unmarshal(plain, &plainEnv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(env.Table, plainEnv.Table) {
+		t.Fatalf("streamed table differs from plain table:\n%s\nvs\n%s", env.Table, plainEnv.Table)
+	}
+}
+
+func TestSimulateRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"bad op", `{"op":"teleport"}`},
+		{"bad network", `{"op":"exec","network":"quantum"}`},
+		{"unknown config field", `{"op":"exec","config":{"warp_factor":9}}`},
+		{"invalid config", `{"op":"exec","config":{"system":{"cores":7}}}`},
+		{"malformed json", `{"op":`},
+	} {
+		code, body := postJSON(t, ts.URL+"/v1/simulate", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", tc.name, code, body)
+		}
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Version     int              `json:"version"`
+		Experiments []experimentInfo `json:"experiments"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Experiments) < 10 {
+		t.Fatalf("registry listing too short: %d entries", len(listing.Experiments))
+	}
+	// r13 is analytic (cost light) — cheap enough to run end to end.
+	code, body := postJSON(t, ts.URL+"/v1/experiments/r13", "")
+	if code != http.StatusOK {
+		t.Fatalf("r13: status %d: %s", code, body)
+	}
+	var env resultEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Op != "experiment:r13" || env.Status != "ok" || len(env.Table) == 0 {
+		t.Fatalf("bad experiment envelope: %+v", env)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/experiments/r999", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown experiment: status %d: %s", code, body)
+	}
+}
+
+// Draining refuses new work with 503 and parks an in-flight self-correction
+// at a round boundary: the client still gets a valid partial result, marked
+// status "parked".
+func TestDrainParksInFlightCorrection(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// A fixed seed far above the real latencies plus heavy damping forces a
+	// long geometric approach (~60 rounds before the schedule can freeze):
+	// a wide, deterministic window of round boundaries for the park to
+	// land on.
+	body := `{"op":"correct","network":"optical","config":{
+		"system":{"cores":16},
+		"workload":{"kernel":"stencil","scale":4,"iterations":2},
+		"sctm":{"max_iterations":500,"tolerance_cycles":0,"makespan_tolerance":0,
+			"damping":0.9,"seed":"fixed","initial_latency_cycles":5000},
+		"max_cycles":5000000}}`
+	resp, err := http.Post(ts.URL+"/v1/simulate?stream=sse", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Stream until the capture finishes computing, then drain mid-loop.
+	type result struct {
+		env resultEnvelope
+		evs []sseEvent
+	}
+	resc := make(chan result, 1)
+	go func() {
+		evs := readSSE(t, resp)
+		var r result
+		r.evs = evs
+		if len(evs) > 0 && evs[len(evs)-1].event == "result" {
+			_ = json.Unmarshal(evs[len(evs)-1].data, &r.env)
+		}
+		resc <- r
+	}()
+	// Wait for the correction to be underway (the capture is the first
+	// computed entry, the correction flight the second miss), then drain.
+	deadline := time.Now().Add(30 * time.Second)
+	for serverStats(t, ts).Cache.Misses < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("correction never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv.Drain()
+
+	// New work is refused while draining.
+	if code, b := postJSON(t, ts.URL+"/v1/simulate", smallSim("exec")); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server accepted new work: %d %s", code, b)
+	}
+
+	r := <-resc
+	if len(r.evs) == 0 || r.evs[len(r.evs)-1].event != "result" {
+		t.Fatalf("stream did not end in a result: %+v", r.evs)
+	}
+	if r.env.Status != "parked" {
+		t.Fatalf("in-flight correction not parked: %+v", r.env)
+	}
+	if len(r.env.Table) == 0 {
+		t.Fatal("parked result carries no table")
+	}
+}

@@ -66,10 +66,18 @@ type Key struct {
 }
 
 func (k Key) String() string {
-	if k.Capture != "" {
-		return fmt.Sprintf("%s/%s@%s(cap=%s)", k.Fingerprint[:12], k.Op, k.Kind, k.Capture)
+	// Fingerprints are normally 64 hex characters, but keys also get
+	// rendered on error paths where the fingerprint never materialized (a
+	// zero Key in a log line must not panic the logger), so the
+	// abbreviation truncates defensively.
+	fp := k.Fingerprint
+	if len(fp) > 12 {
+		fp = fp[:12]
 	}
-	return fmt.Sprintf("%s/%s@%s", k.Fingerprint[:12], k.Op, k.Kind)
+	if k.Capture != "" {
+		return fmt.Sprintf("%s/%s@%s(cap=%s)", fp, k.Op, k.Kind, k.Capture)
+	}
+	return fmt.Sprintf("%s/%s@%s", fp, k.Op, k.Kind)
 }
 
 // entry is one in-flight or settled computation. done is closed exactly

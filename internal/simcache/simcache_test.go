@@ -283,3 +283,23 @@ func TestKeyString(t *testing.T) {
 		t.Fatalf("String() = %q", got)
 	}
 }
+
+// Keys shorter than the 12-character abbreviation — above all the zero Key,
+// which error paths hand to log formatting before a fingerprint ever
+// materialized — must render instead of panicking with a slice range error.
+func TestKeyStringShortFingerprint(t *testing.T) {
+	cases := []struct {
+		key  Key
+		want string
+	}{
+		{Key{}, "/@"},
+		{Key{Fingerprint: "abc", Kind: "optical", Op: OpTruth}, "abc/truth@optical"},
+		{Key{Fingerprint: "abcdef0123456789", Kind: "ideal", Op: OpCapture}, "abcdef012345/capture@ideal"},
+		{Key{Fingerprint: "ff", Kind: "mesh", Op: OpNaive, Capture: "aa@ideal"}, "ff/naive@mesh(cap=aa@ideal)"},
+	}
+	for _, c := range cases {
+		if got := c.key.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.key, got, c.want)
+		}
+	}
+}

@@ -72,3 +72,10 @@ type ProgressEvent struct {
 type Progress interface {
 	Event(ProgressEvent)
 }
+
+// ProgressFunc adapts a function to the Progress interface. The function is
+// called from simulation goroutines and must be safe for concurrent use.
+type ProgressFunc func(ProgressEvent)
+
+// Event implements Progress.
+func (f ProgressFunc) Event(ev ProgressEvent) { f(ev) }

@@ -1,7 +1,10 @@
 package onocsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -26,13 +29,71 @@ import (
 type Session struct {
 	cache *simcache.Cache
 
-	// mu guards traces. The registry remembers which *Trace values this
-	// session produced and under which key, so replay results can be
+	// mu guards traces and gen. The registry remembers which *Trace values
+	// this session produced and under which key, so replay results can be
 	// memoized: a replay is only cacheable when the identity of its input
 	// trace is known. Traces from elsewhere (transformed, hand-built,
 	// loaded from a file) replay uncached — correct, just not memoized.
+	//
+	// The registry is bounded (maxTraceRegistry, LRU eviction): a long-lived
+	// process capturing many distinct configs must not grow this map — and
+	// through its keys, pin the traces themselves — without limit. Evicted
+	// traces replay uncached from then on, which is the same graceful
+	// degradation as an unknown trace.
 	mu     sync.Mutex
-	traces map[*Trace]simcache.Key
+	traces map[*Trace]traceEntry
+	gen    uint64
+}
+
+// traceEntry is one registry slot: the capture key plus a recency stamp.
+type traceEntry struct {
+	key simcache.Key
+	gen uint64
+}
+
+// maxTraceRegistry caps the trace registry. 256 distinct live traces is far
+// beyond any sweep in the repo; the cap exists so a daemon serving arbitrary
+// configs for weeks holds a bounded map, not as a tuning knob.
+const maxTraceRegistry = 256
+
+// rememberTrace registers tr under its capture key, evicting the
+// least-recently-used entry when the registry is full. Re-registering an
+// existing trace only refreshes its recency.
+func (s *Session) rememberTrace(tr *Trace, key simcache.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	if e, ok := s.traces[tr]; ok {
+		e.gen = s.gen
+		s.traces[tr] = e
+		return
+	}
+	if len(s.traces) >= maxTraceRegistry {
+		var oldest *Trace
+		oldestGen := uint64(math.MaxUint64)
+		for t, e := range s.traces {
+			if e.gen < oldestGen {
+				oldest, oldestGen = t, e.gen
+			}
+		}
+		delete(s.traces, oldest)
+	}
+	s.traces[tr] = traceEntry{key: key, gen: s.gen}
+}
+
+// lookupTrace returns tr's capture key and refreshes its recency, so traces
+// in active use don't age out under registration churn.
+func (s *Session) lookupTrace(tr *Trace) (simcache.Key, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.traces[tr]
+	if !ok {
+		return simcache.Key{}, false
+	}
+	s.gen++
+	e.gen = s.gen
+	s.traces[tr] = e
+	return e.key, true
 }
 
 // NewSession returns an empty session. cacheDir optionally enables the disk
@@ -40,7 +101,7 @@ type Session struct {
 // (versioned JSON) are persisted there and reloaded by later invocations;
 // pass "" for a purely in-memory session.
 func NewSession(cacheDir string) *Session {
-	return &Session{cache: simcache.New(cacheDir), traces: map[*Trace]simcache.Key{}}
+	return &Session{cache: simcache.New(cacheDir), traces: map[*Trace]traceEntry{}}
 }
 
 // CacheStats reports cache traffic; zero for a nil session.
@@ -195,15 +256,24 @@ type (
 
 // RunExecutionDriven is the memoized form of the package function.
 func (s *Session) RunExecutionDriven(cfg Config, kind NetworkKind) (GroundTruth, error) {
+	return s.RunExecutionDrivenContext(context.Background(), cfg, kind)
+}
+
+// RunExecutionDrivenContext is the memoized form of the package function.
+// The context governs the caller's own computation; a caller deduplicated
+// onto another request's in-flight computation shares that computation's
+// lifecycle (errors from a cancelled flight propagate to its waiters and are
+// never cached).
+func (s *Session) RunExecutionDrivenContext(ctx context.Context, cfg Config, kind NetworkKind) (GroundTruth, error) {
 	if s == nil {
-		return RunExecutionDriven(cfg, kind)
+		return RunExecutionDrivenContext(ctx, cfg, kind)
 	}
 	key, err := sessionKey(cfg, kind, simcache.OpTruth)
 	if err != nil {
 		return GroundTruth{}, err
 	}
 	return simcache.DoValue(s.cache, key, func() (GroundTruth, error) {
-		return RunExecutionDriven(cfg, kind)
+		return RunExecutionDrivenContext(ctx, cfg, kind)
 	})
 }
 
@@ -213,24 +283,26 @@ func (s *Session) RunExecutionDriven(cfg Config, kind NetworkKind) (GroundTruth,
 // capture may be satisfied by a trace persisted by an earlier invocation, in
 // which case the reported wall time is the (much smaller) load time.
 func (s *Session) CaptureTrace(cfg Config, captureOn NetworkKind) (*Trace, time.Duration, error) {
+	return s.CaptureTraceContext(context.Background(), cfg, captureOn)
+}
+
+// CaptureTraceContext is the memoized form of the package function; see
+// RunExecutionDrivenContext for the context contract.
+func (s *Session) CaptureTraceContext(ctx context.Context, cfg Config, captureOn NetworkKind) (*Trace, time.Duration, error) {
 	if s == nil {
-		return CaptureTrace(cfg, captureOn)
+		return CaptureTraceContext(ctx, cfg, captureOn)
 	}
 	key, err := sessionKey(cfg, captureOn, simcache.OpCapture)
 	if err != nil {
 		return nil, 0, err
 	}
 	tr, wall, err := s.cache.DoTrace(key, func() (*trace.Trace, time.Duration, error) {
-		return CaptureTrace(cfg, captureOn)
+		return CaptureTraceContext(ctx, cfg, captureOn)
 	})
 	if err != nil {
 		return nil, 0, err
 	}
-	s.mu.Lock()
-	if _, ok := s.traces[tr]; !ok {
-		s.traces[tr] = key
-	}
-	s.mu.Unlock()
+	s.rememberTrace(tr, key)
 	return tr, wall, nil
 }
 
@@ -239,9 +311,7 @@ func (s *Session) CaptureTrace(cfg Config, captureOn NetworkKind) (*Trace, time.
 // different fabrics (or under different configs) never collide. ok is false
 // when the trace is unknown to the session and the replay must run uncached.
 func (s *Session) replayKey(cfg Config, tr *Trace, kind NetworkKind, op simcache.Op) (simcache.Key, bool, error) {
-	s.mu.Lock()
-	capKey, ok := s.traces[tr]
-	s.mu.Unlock()
+	capKey, ok := s.lookupTrace(tr)
 	if !ok {
 		return simcache.Key{}, false, nil
 	}
@@ -256,32 +326,44 @@ func (s *Session) replayKey(cfg Config, tr *Trace, kind NetworkKind, op simcache
 // RunNaiveReplay is the memoized form of the package function. Replays of
 // traces not produced by this session's CaptureTrace run uncached.
 func (s *Session) RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	return s.RunNaiveReplayContext(context.Background(), cfg, tr, kind)
+}
+
+// RunNaiveReplayContext is the memoized form of the package function; see
+// RunExecutionDrivenContext for the context contract.
+func (s *Session) RunNaiveReplayContext(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
 	if s == nil {
-		return RunNaiveReplay(cfg, tr, kind)
+		return RunNaiveReplayContext(ctx, cfg, tr, kind)
 	}
-	return s.memoReplay(cfg, tr, kind, simcache.OpNaive, RunNaiveReplay)
+	return s.memoReplay(ctx, cfg, tr, kind, simcache.OpNaive, RunNaiveReplayContext)
 }
 
 // RunCoupledReplay is the memoized form of the package function.
 func (s *Session) RunCoupledReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	return s.RunCoupledReplayContext(context.Background(), cfg, tr, kind)
+}
+
+// RunCoupledReplayContext is the memoized form of the package function; see
+// RunExecutionDrivenContext for the context contract.
+func (s *Session) RunCoupledReplayContext(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
 	if s == nil {
-		return RunCoupledReplay(cfg, tr, kind)
+		return RunCoupledReplayContext(ctx, cfg, tr, kind)
 	}
-	return s.memoReplay(cfg, tr, kind, simcache.OpCoupled, RunCoupledReplay)
+	return s.memoReplay(ctx, cfg, tr, kind, simcache.OpCoupled, RunCoupledReplayContext)
 }
 
 // memoReplay implements the shared memoization shape of the two replays.
-func (s *Session) memoReplay(cfg Config, tr *Trace, kind NetworkKind, op simcache.Op,
-	run func(Config, *Trace, NetworkKind) (ReplayResult, time.Duration, error)) (ReplayResult, time.Duration, error) {
+func (s *Session) memoReplay(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind, op simcache.Op,
+	run func(context.Context, Config, *Trace, NetworkKind) (ReplayResult, time.Duration, error)) (ReplayResult, time.Duration, error) {
 	key, ok, err := s.replayKey(cfg, tr, kind, op)
 	if err != nil {
 		return ReplayResult{}, 0, err
 	}
 	if !ok {
-		return run(cfg, tr, kind)
+		return run(ctx, cfg, tr, kind)
 	}
 	rv, err := simcache.DoValue(s.cache, key, func() (replayVal, error) {
-		res, wall, err := run(cfg, tr, kind)
+		res, wall, err := run(ctx, cfg, tr, kind)
 		if err != nil {
 			return replayVal{}, err
 		}
@@ -372,24 +454,44 @@ func (s *Session) RunSelfCorrectionStream(cfg Config, src TraceSource, kind Netw
 
 // RunSelfCorrection is the memoized form of the package function.
 func (s *Session) RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
+	return s.RunSelfCorrectionContext(context.Background(), cfg, tr, kind)
+}
+
+// RunSelfCorrectionContext is the memoized form of the package function. A
+// context that ends mid-loop parks the correction at the next round boundary
+// (see ErrParked): the computing caller gets the partial trajectory back
+// alongside the error, and the parked result is never cached — callers
+// deduplicated onto the parked flight receive only the error, since a
+// partial result must not masquerade as the converged one.
+func (s *Session) RunSelfCorrectionContext(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
 	if s == nil {
-		return RunSelfCorrection(cfg, tr, kind)
+		return RunSelfCorrectionContext(ctx, cfg, tr, kind)
 	}
 	key, ok, err := s.replayKey(cfg, tr, kind, simcache.OpSCTM)
 	if err != nil {
 		return CorrectionResult{}, 0, err
 	}
 	if !ok {
-		return RunSelfCorrection(cfg, tr, kind)
+		return RunSelfCorrectionContext(ctx, cfg, tr, kind)
 	}
+	// The stash carries a parked partial result past the cache, which
+	// (correctly) drops the value of any failed flight.
+	var parked *CorrectionResult
+	var parkedWall time.Duration
 	cv, err := simcache.DoValue(s.cache, key, func() (corrVal, error) {
-		res, wall, err := RunSelfCorrection(cfg, tr, kind)
+		res, wall, err := RunSelfCorrectionContext(ctx, cfg, tr, kind)
 		if err != nil {
+			if errors.Is(err, ErrParked) {
+				parked, parkedWall = &res, wall
+			}
 			return corrVal{}, err
 		}
 		return corrVal{Res: res, Wall: wall}, nil
 	})
 	if err != nil {
+		if parked != nil {
+			return *parked, parkedWall, err
+		}
 		return CorrectionResult{}, 0, err
 	}
 	return cv.Res, cv.Wall, nil
@@ -459,6 +561,15 @@ func (s *Session) RunSyntheticLoad(cfg Config, kind NetworkKind) (SyntheticResul
 // session, any phase whose result is already cached (or concurrently being
 // computed by another study) is deduplicated instead of re-run.
 func (s *Session) RunStudy(cfg Config, target NetworkKind) (*Study, error) {
+	return s.RunStudyContext(context.Background(), cfg, target)
+}
+
+// RunStudyContext is RunStudy with a cancellable lifecycle: every phase
+// queues for its simulation slot under ctx, and the self-correction phase
+// parks at a round boundary if ctx ends mid-loop. A cancelled study returns
+// the first phase error; partial phase results are discarded (use
+// RunSelfCorrectionContext directly to keep a parked trajectory).
+func (s *Session) RunStudyContext(ctx context.Context, cfg Config, target NetworkKind) (*Study, error) {
 	if err := ValidateNetworkKind(cfg, target); err != nil {
 		return nil, err
 	}
@@ -469,11 +580,11 @@ func (s *Session) RunStudy(cfg Config, target NetworkKind) (*Study, error) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		st.Truth, truthErr = s.RunExecutionDriven(cfg, target)
+		st.Truth, truthErr = s.RunExecutionDrivenContext(ctx, cfg, target)
 	}()
 
 	// Capture runs on the calling goroutine: the replay engines block on it.
-	tr, capWall, capErr := s.CaptureTrace(cfg, config.NetIdeal)
+	tr, capWall, capErr := s.CaptureTraceContext(ctx, cfg, config.NetIdeal)
 	if capErr != nil {
 		wg.Wait()
 		return nil, fmt.Errorf("onocsim: capture: %w", capErr)
@@ -485,15 +596,15 @@ func (s *Session) RunStudy(cfg Config, target NetworkKind) (*Study, error) {
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
-		st.Naive, st.NaiveWall, naiveErr = s.RunNaiveReplay(cfg, tr, target)
+		st.Naive, st.NaiveWall, naiveErr = s.RunNaiveReplayContext(ctx, cfg, tr, target)
 	}()
 	go func() {
 		defer wg.Done()
-		st.Coupled, st.CoupledWall, coupErr = s.RunCoupledReplay(cfg, tr, target)
+		st.Coupled, st.CoupledWall, coupErr = s.RunCoupledReplayContext(ctx, cfg, tr, target)
 	}()
 	go func() {
 		defer wg.Done()
-		st.SCTM, st.SCTMWall, sctmErr = s.RunSelfCorrection(cfg, tr, target)
+		st.SCTM, st.SCTMWall, sctmErr = s.RunSelfCorrectionContext(ctx, cfg, tr, target)
 	}()
 	wg.Wait()
 

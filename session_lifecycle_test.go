@@ -1,0 +1,124 @@
+package onocsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"onocsim/internal/simcache"
+)
+
+// The regression the daemon needed: Session.traces used to grow without
+// bound — one entry per distinct captured config, forever — so a long-lived
+// process serving arbitrary configs leaked the registry and pinned every
+// trace it ever produced. The registry is now LRU-bounded.
+func TestSessionTraceRegistryBounded(t *testing.T) {
+	s := NewSession("")
+	for i := 0; i < 4*maxTraceRegistry; i++ {
+		s.rememberTrace(&Trace{}, simcache.Key{Fingerprint: fmt.Sprintf("fp-%04d", i)})
+	}
+	s.mu.Lock()
+	n := len(s.traces)
+	s.mu.Unlock()
+	if n > maxTraceRegistry {
+		t.Fatalf("registry grew to %d entries, cap is %d", n, maxTraceRegistry)
+	}
+}
+
+func TestSessionTraceRegistryEvictsOldestKeepsTouched(t *testing.T) {
+	s := NewSession("")
+	hot := &Trace{}
+	s.rememberTrace(hot, simcache.Key{Fingerprint: "hot"})
+	for i := 0; i < 2*maxTraceRegistry; i++ {
+		// Touching the hot trace between registrations keeps it resident
+		// while everything older churns out.
+		if _, ok := s.lookupTrace(hot); !ok {
+			t.Fatalf("hot trace evicted after %d registrations despite lookups", i)
+		}
+		s.rememberTrace(&Trace{}, simcache.Key{Fingerprint: fmt.Sprintf("cold-%04d", i)})
+	}
+	key, ok := s.lookupTrace(hot)
+	if !ok || key.Fingerprint != "hot" {
+		t.Fatalf("hot trace lost: ok=%v key=%v", ok, key)
+	}
+	// Re-registering an already-known trace must not duplicate or grow.
+	s.mu.Lock()
+	before := len(s.traces)
+	s.mu.Unlock()
+	s.rememberTrace(hot, simcache.Key{Fingerprint: "hot"})
+	s.mu.Lock()
+	after := len(s.traces)
+	s.mu.Unlock()
+	if after != before {
+		t.Fatalf("re-registration changed registry size %d -> %d", before, after)
+	}
+}
+
+// An evicted trace degrades to uncached replay, exactly like a trace the
+// session never saw.
+func TestSessionEvictedTraceReplaysUncached(t *testing.T) {
+	s := NewSession("")
+	cfg := smallConfig()
+	tr, _, err := s.CaptureTrace(cfg, IdealNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.replayKey(cfg, tr, Optical, simcache.OpNaive); err != nil || !ok {
+		t.Fatalf("fresh capture not keyed: ok=%v err=%v", ok, err)
+	}
+	for i := 0; i < maxTraceRegistry+1; i++ {
+		s.rememberTrace(&Trace{}, simcache.Key{Fingerprint: fmt.Sprintf("churn-%04d", i)})
+	}
+	if _, ok, err := s.replayKey(cfg, tr, Optical, simcache.OpNaive); err != nil || ok {
+		t.Fatalf("evicted trace still keyed: ok=%v err=%v", ok, err)
+	}
+	// The replay still works, just uncached.
+	res, _, err := s.RunNaiveReplay(cfg, tr, Optical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("uncached replay produced no result")
+	}
+}
+
+// A context that dies mid-correction parks the loop: the session returns the
+// partial trajectory with ErrParked and caches nothing, so a later
+// uncancelled run computes the full result fresh.
+func TestSessionSelfCorrectionParksAndNeverCachesPartial(t *testing.T) {
+	s := NewSession("")
+	cfg := smallConfig()
+	tr, _, err := s.CaptureTrace(cfg, IdealNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, _, err := s.RunSelfCorrectionContext(ctx, cfg, tr, Optical)
+	if !errors.Is(err, ErrParked) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled correction returned %v", err)
+	}
+	if errors.Is(err, ErrParked) && res.Converged {
+		t.Fatal("parked result claims convergence")
+	}
+	misses := s.CacheStats().Misses
+	full, _, err := s.RunSelfCorrection(cfg, tr, Optical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Converged {
+		t.Fatalf("full run did not converge: %+v", full)
+	}
+	if got := s.CacheStats().Misses; got == misses {
+		t.Fatal("full run after park was served from cache — the partial leaked in")
+	}
+	// And the converged result is cached now.
+	hits := s.CacheStats().Hits
+	if _, _, err := s.RunSelfCorrection(cfg, tr, Optical); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CacheStats().Hits; got != hits+1 {
+		t.Fatalf("converged result not cached: hits %d -> %d", hits, got)
+	}
+}
