@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check check test test-race loadtest bench bench-json bench-mem bench-incr report report-csv experiments-md examples clean
+.PHONY: all build vet fmt-check check sweep-smoke test test-race loadtest bench bench-json bench-mem bench-incr report report-csv experiments-md examples clean
 
 all: build vet test test-race
 
@@ -19,8 +19,14 @@ fmt-check:
 
 # Static checks plus the golden-file rendering gate: the ASCII output of the
 # pinned experiments must stay byte-identical (cmd/expreport/testdata).
-check: vet fmt-check
+check: vet fmt-check sweep-smoke
 	$(GO) test ./cmd/expreport/ -run TestGolden -count=1
+
+# End-to-end sweep smoke: a committed micro-grid through the CLI pipeline
+# (expand -> analytic prefilter -> prune -> simulate -> Pareto front). The
+# tables are discarded; any pipeline regression fails the exit code.
+sweep-smoke:
+	$(GO) run ./cmd/onocsim -mode sweep -sweep cmd/onocsim/testdata/smoke_sweep.json > /dev/null
 
 # Tier-1 gate: vet runs first so static mistakes fail fast, before the
 # (much slower) test sweep; the golden rendering tests run as part of the
@@ -39,9 +45,11 @@ test: vet
 # injector's lazily extended per-channel timelines under sharded replay,
 # and the analytic estimator's shared probe cache. The service packages run
 # here too: the daemon's whole job is concurrent clients sharing one session
-# (single-flight dedup, the admission scheduler, the SSE hub).
+# (single-flight dedup, the admission scheduler, the SSE hub), and the job
+# and sweep packages fan hundreds of admission-scheduled arms out of one
+# session.
 test-race:
-	$(GO) test -race ./internal/analytic/ ./internal/experiments/ ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/trace/ ./internal/service/ ./cmd/onocsimd/ .
+	$(GO) test -race ./internal/analytic/ ./internal/experiments/ ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/trace/ ./internal/service/ ./internal/job/ ./internal/sweep/ ./cmd/onocsimd/ .
 
 # Service load harness: a burst of mixed cost-class requests against an
 # in-process daemon, asserting the cache absorbs the burst (flight count,
@@ -66,8 +74,8 @@ bench:
 # re-baseline, e.g. `make bench-json BENCH_OUT=tmp.json BENCH_BASE=BENCH_PR6.json`.
 # BENCH_TOLERANCE loosens the timing threshold on a noisy host
 # (`BENCH_TOLERANCE=40 make bench-json`); the counter gates stay strict.
-BENCH_OUT ?= BENCH_PR9.json
-BENCH_BASE ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR10.json
+BENCH_BASE ?= BENCH_PR9.json
 BENCH_TOLERANCE ?= 25
 bench-json:
 	for i in 1 2 3; do $(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim/ || exit 1; done | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress $(BENCH_TOLERANCE)
@@ -88,7 +96,7 @@ bench-incr:
 bench-mem:
 	for i in 1 2 3; do $(GO) test -run '^$$' -bench 'RSS|NaiveReplayStream|NaiveReplayInMemory' -benchmem . || exit 1; done | $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE) -maxregress $(BENCH_TOLERANCE)
 
-# Regenerate the full evaluation (R1–R19) at paper scale.
+# Regenerate the full evaluation (R1–R20) at paper scale.
 report:
 	$(GO) run ./cmd/expreport -exp all | tee results_full.txt
 

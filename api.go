@@ -280,7 +280,7 @@ func RunNaiveReplay(cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time
 // see RunExecutionDrivenContext for the contract.
 func RunNaiveReplayContext(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind) (ReplayResult, time.Duration, error) {
 	if cfg.Parallelism.Stream {
-		return RunNaiveReplayStream(cfg, MemTraceSource(tr), kind)
+		return RunNaiveReplayStreamContext(ctx, cfg, MemTraceSource(tr), kind)
 	}
 	if shards := cfg.Parallelism.Shards; shards > 1 {
 		factory, err := NetworkFactory(cfg, kind)
@@ -369,17 +369,38 @@ var ErrParked = core.ErrParked
 // streaming path (cfg.Parallelism.Stream) only honors ctx during admission;
 // once admitted it runs to completion.
 func RunSelfCorrectionContext(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
+	res, _, wall, err := RunSelfCorrectionParkableContext(ctx, cfg, tr, kind, nil)
+	return res, wall, err
+}
+
+// CorrectionPark is the opaque resume state of a parked self-correction run:
+// the blended latency estimates, the next schedule, the trajectory so far,
+// and the live round runner whose fabric checkpoints survive the park. It is
+// bound to the exact (config, trace, kind) triple that produced it,
+// single-use, and in-process only (fabric snapshots do not serialize).
+type CorrectionPark = core.ParkState
+
+// RunSelfCorrectionParkableContext is RunSelfCorrectionContext with explicit
+// park state: a parked run returns a non-nil *CorrectionPark alongside the
+// ErrParked error, and passing that state back — with the same config, trace
+// and kind — resumes the loop at the parked round boundary instead of
+// re-running the completed rounds. The completed result is byte-identical to
+// an uninterrupted run's. The streaming path (cfg.Parallelism.Stream) never
+// parks and ignores resume.
+func RunSelfCorrectionParkableContext(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind, resume *CorrectionPark) (CorrectionResult, *CorrectionPark, time.Duration, error) {
 	factory, err := NetworkFactory(cfg, kind)
 	if err != nil {
-		return CorrectionResult{}, 0, err
+		return CorrectionResult{}, nil, 0, err
 	}
 	if err := acquireSimSlotCtx(ctx); err != nil {
-		return CorrectionResult{}, 0, err
+		return CorrectionResult{}, nil, 0, err
 	}
 	defer releaseSimSlot()
 	start := time.Now()
 	var seed []sim.Tick
-	if cfg.SCTM.SeedMode() == "analytic" {
+	if resume == nil && cfg.SCTM.SeedMode() == "analytic" {
+		// A resumed loop starts from the state's blended latencies; seeding
+		// would be discarded, so skip computing it.
 		seed = analytic.Seed(cfg, kind, tr)
 	}
 	if cfg.Parallelism.Stream {
@@ -388,10 +409,10 @@ func RunSelfCorrectionContext(ctx context.Context, cfg Config, tr *Trace, kind N
 		// (RunSelfCorrectionStream) lacks it.
 		res, err := core.SelfCorrectStream(factory, trace.NewMemSource(tr), cfg.SCTM,
 			cfg.Parallelism.Shards, cfg.Parallelism.WindowEvents, seed)
-		return res, time.Since(start), err
+		return res, nil, time.Since(start), err
 	}
-	res, err := core.SelfCorrectShardedSeededCtx(ctx, factory, tr, cfg.SCTM, cfg.Parallelism.Shards, seed)
-	return res, time.Since(start), err
+	res, state, err := core.SelfCorrectParkableCtx(ctx, factory, tr, cfg.SCTM, cfg.Parallelism.Shards, seed, resume)
+	return res, state, time.Since(start), err
 }
 
 // EstimateAnalytic prices replaying tr on the given fabric kind with the
@@ -446,11 +467,10 @@ type Study struct {
 // instance over its own budget.
 var simSched = NewSlotScheduler(runtime.NumCPU())
 
-func acquireSimSlot() { _ = simSched.Acquire(context.Background(), SlotMedium, 1) }
-
 // acquireSimSlotCtx is the cancellable acquire: a caller whose context ends
 // while it queues releases its admission claim and returns the context
-// error instead of running an orphaned simulation.
+// error instead of running an orphaned simulation. Every entry point routes
+// through it — uncancellable wrappers pass context.Background().
 func acquireSimSlotCtx(ctx context.Context) error {
 	return simSched.Acquire(ctx, SlotMedium, 1)
 }
@@ -475,12 +495,23 @@ func RunStudyContext(ctx context.Context, cfg Config, target NetworkKind) (*Stud
 // the config's synthetic workload and reports latency/throughput. The
 // electrical flit granularity prices offered load on both fabrics so the
 // numbers stay comparable.
+//
+// Deprecated: this wrapper cannot be cancelled while it queues for a
+// simulation slot; use RunSyntheticLoadContext.
 func RunSyntheticLoad(cfg Config, kind NetworkKind) (SyntheticResult, error) {
+	return RunSyntheticLoadContext(context.Background(), cfg, kind)
+}
+
+// RunSyntheticLoadContext is RunSyntheticLoad with cancellable slot
+// admission; see RunExecutionDrivenContext for the contract.
+func RunSyntheticLoadContext(ctx context.Context, cfg Config, kind NetworkKind) (SyntheticResult, error) {
 	net, err := BuildNetwork(cfg, kind)
 	if err != nil {
 		return SyntheticResult{}, err
 	}
-	acquireSimSlot()
+	if err := acquireSimSlotCtx(ctx); err != nil {
+		return SyntheticResult{}, err
+	}
 	defer releaseSimSlot()
 	return workload.RunSynthetic(net, cfg.Workload, cfg.Mesh.FlitBytes, cfg.Seed)
 }
@@ -506,12 +537,23 @@ func MemTraceSource(tr *Trace) TraceSource { return trace.NewMemSource(tr) }
 // materialized, with cfg.Parallelism.Shards honored exactly as in the
 // in-memory path. Results are byte-identical to RunNaiveReplay on the same
 // trace for any shard count and any sufficient window.
+//
+// Deprecated: this wrapper cannot be cancelled while it queues for a
+// simulation slot; use RunNaiveReplayStreamContext.
 func RunNaiveReplayStream(cfg Config, src TraceSource, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	return RunNaiveReplayStreamContext(context.Background(), cfg, src, kind)
+}
+
+// RunNaiveReplayStreamContext is RunNaiveReplayStream with cancellable slot
+// admission; see RunExecutionDrivenContext for the contract.
+func RunNaiveReplayStreamContext(ctx context.Context, cfg Config, src TraceSource, kind NetworkKind) (ReplayResult, time.Duration, error) {
 	factory, err := NetworkFactory(cfg, kind)
 	if err != nil {
 		return ReplayResult{}, 0, err
 	}
-	acquireSimSlot()
+	if err := acquireSimSlotCtx(ctx); err != nil {
+		return ReplayResult{}, 0, err
+	}
 	defer releaseSimSlot()
 	start := time.Now()
 	res, err := core.NaiveReplayStream(factory, src, cfg.Parallelism.Shards, cfg.Parallelism.WindowEvents)
@@ -526,12 +568,24 @@ func RunNaiveReplayStream(cfg Config, src TraceSource, kind NetworkKind) (Replay
 // — except that cfg.SCTM.Seed = "analytic" is a materialized-path feature
 // (the closed-form estimator wants the whole trace); streaming always seeds
 // from zero-load latencies or InitialLatencyCycles.
+//
+// Deprecated: this wrapper cannot be cancelled while it queues for a
+// simulation slot; use RunSelfCorrectionStreamContext.
 func RunSelfCorrectionStream(cfg Config, src TraceSource, kind NetworkKind) (CorrectionResult, time.Duration, error) {
+	return RunSelfCorrectionStreamContext(context.Background(), cfg, src, kind)
+}
+
+// RunSelfCorrectionStreamContext is RunSelfCorrectionStream with cancellable
+// slot admission. Once admitted the streaming loop runs to completion: it
+// keeps no fabric checkpoints to park at.
+func RunSelfCorrectionStreamContext(ctx context.Context, cfg Config, src TraceSource, kind NetworkKind) (CorrectionResult, time.Duration, error) {
 	factory, err := NetworkFactory(cfg, kind)
 	if err != nil {
 		return CorrectionResult{}, 0, err
 	}
-	acquireSimSlot()
+	if err := acquireSimSlotCtx(ctx); err != nil {
+		return CorrectionResult{}, 0, err
+	}
 	defer releaseSimSlot()
 	start := time.Now()
 	res, err := core.SelfCorrectStream(factory, src, cfg.SCTM, cfg.Parallelism.Shards, cfg.Parallelism.WindowEvents, nil)
@@ -543,14 +597,40 @@ func RunSelfCorrectionStream(cfg Config, src TraceSource, kind NetworkKind) (Cor
 // summary metrics only. This is the fully out-of-core tier: traces far
 // larger than memory replay at flat RSS. The summary fields equal the
 // corresponding RunNaiveReplay fields (serial path) on the same fabric.
+//
+// Deprecated: this wrapper cannot be cancelled while it queues for a
+// simulation slot; use RunNaiveReplaySummaryContext.
 func RunNaiveReplaySummary(cfg Config, src TraceSource, kind NetworkKind) (ReplaySummary, time.Duration, error) {
+	return RunNaiveReplaySummaryContext(context.Background(), cfg, src, kind)
+}
+
+// RunNaiveReplaySummaryContext is RunNaiveReplaySummary with cancellable slot
+// admission; see RunExecutionDrivenContext for the contract.
+func RunNaiveReplaySummaryContext(ctx context.Context, cfg Config, src TraceSource, kind NetworkKind) (ReplaySummary, time.Duration, error) {
 	net, err := BuildNetwork(cfg, kind)
 	if err != nil {
 		return ReplaySummary{}, 0, err
 	}
-	acquireSimSlot()
+	if err := acquireSimSlotCtx(ctx); err != nil {
+		return ReplaySummary{}, 0, err
+	}
 	defer releaseSimSlot()
 	start := time.Now()
 	res, err := core.NaiveReplaySummaryStream(net, src)
 	return res, time.Since(start), err
+}
+
+// StaticPowerMW reports the load-independent power floor of a fabric built
+// for cfg: router and link leakage for the mesh, laser and ring-tuning power
+// for the photonic fabrics. It builds the fabric and reads its power report
+// without simulating a cycle, so the value is deterministic and purely
+// design-determined — the power objective the design-space sweep prices its
+// Pareto fronts with (replay results carry no dynamic power; ground truth
+// does, but paying an execution-driven run per arm would defeat the sweep).
+func StaticPowerMW(cfg Config, kind NetworkKind) (float64, error) {
+	net, err := BuildNetwork(cfg, kind)
+	if err != nil {
+		return 0, err
+	}
+	return net.PowerReport(1, clockGHz(cfg, kind)).StaticMW, nil
 }

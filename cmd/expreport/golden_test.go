@@ -27,14 +27,16 @@ func maskWallClock(t *metrics.Table) {
 // TestGoldenASCII pins the ASCII rendering of representative experiments to
 // byte-identical golden files: R1 (the headline accuracy table), R4 (the
 // synthetic load sweep: floats, bools), R18 (the fault sweep: ratios,
-// percentages, counters) and R19 (the seeding comparison: wall-clock cells
-// masked). Simulations are deterministic, so any diff is a rendering or
-// modeling change — regenerate through the same masked path with:
+// percentages, counters), R19 (the seeding comparison: wall-clock cells
+// masked) and R20 (the design-space sweep: the Pareto front and its pruning
+// accounting must not drift). Simulations are deterministic, so any diff is
+// a rendering or modeling change — regenerate through the same masked path
+// with:
 //
 //	UPDATE_GOLDEN=1 go test ./cmd/expreport -run TestGoldenASCII
 func TestGoldenASCII(t *testing.T) {
 	opts := experiments.Options{Seed: 42, Cores: 16, Quick: true}
-	for _, id := range []string{"r1", "r4", "r18", "r19"} {
+	for _, id := range []string{"r1", "r4", "r18", "r19", "r20"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			tb, err := experiments.ByName(id, opts)

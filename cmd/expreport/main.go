@@ -15,9 +15,11 @@
 //	expreport -exp all -quick              # CI-sized sweeps
 //	expreport -exp all -parallel -progress # scheduler + live stderr progress
 //	expreport -exp all -parallel -cachedir ~/.cache/onocsim
+//	expreport -sweep grid.json -quick      # custom design-space sweep
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,11 +37,12 @@ import (
 	"onocsim/internal/experiments"
 	"onocsim/internal/metrics"
 	"onocsim/internal/prof"
+	"onocsim/internal/sweep"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (r1..r19) or 'all'")
+		exp        = flag.String("exp", "all", "experiment id (r1..r20) or 'all'")
 		cores      = flag.Int("cores", 64, "core count for kernel experiments")
 		seed       = flag.Uint64("seed", 42, "experiment seed")
 		quick      = flag.Bool("quick", false, "shrink sweeps (CI-sized)")
@@ -53,6 +56,7 @@ func main() {
 		incr       = flag.Bool("incremental", false, "resume self-correction rounds from frozen-prefix checkpoints (tables are identical apart from wall-clock and replayed-events cells)")
 		faults     = flag.String("faults", "", "run the kernel experiments under this fault preset: off | light | heavy (R18 sweeps all presets regardless)")
 		seedMode   = flag.String("seedmode", "", "self-correction round-0 seeding for the kernel experiments: zeroload | analytic | fixed (R19 compares the modes regardless); -seed stays the RNG seed")
+		sweepPath  = flag.String("sweep", "", "run a design-space sweep from this JSON spec instead of the registered experiments ('default': the built-in grid)")
 		progress   = flag.Bool("progress", false, "stream experiment and simulation progress to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -92,7 +96,11 @@ func main() {
 		var stopProf func() error
 		stopProf, err = prof.Start(*cpuprofile, *memprofile)
 		if err == nil {
-			err = run(os.Stdout, *exp, opts, *format, *outdir)
+			if *sweepPath != "" {
+				err = runSweep(os.Stdout, *sweepPath, opts, *format)
+			} else {
+				err = run(os.Stdout, *exp, opts, *format, *outdir)
+			}
 		}
 		if perr := stopProf(); err == nil {
 			err = perr
@@ -198,6 +206,54 @@ func runList(w io.Writer, format string) error {
 		return writeJSONDoc(w, []string{"registry"}, []*metrics.Table{t})
 	}
 	return writeTable(w, t, format)
+}
+
+// runSweep drives the design-space sweep pipeline (internal/sweep) from a
+// spec file — the batch counterpart of a single -exp run. The experiment
+// options that make sense for a sweep carry over: -seed and -quick shape the
+// spec, -progress streams per-arm phases through the shared progressLogger,
+// and -parallel/-cachedir's session (if any) memoizes the arms.
+func runSweep(w io.Writer, path string, opts experiments.Options, format string) error {
+	if err := checkFormat(format); err != nil {
+		return err
+	}
+	spec := config.DefaultSweep()
+	if path != "default" {
+		var err error
+		spec, err = config.LoadSweep(path)
+		if err != nil {
+			return err
+		}
+	}
+	spec.Normalize()
+	if opts.Seed != 0 {
+		spec.Seed = opts.Seed
+	}
+	if opts.Quick {
+		spec.Quick = true
+	}
+	session := opts.Session
+	if session == nil {
+		session = onocsim.NewSession("")
+	}
+	res, err := sweep.Run(context.Background(), spec, sweep.Options{
+		Session:  session,
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		return res.WriteJSON(w)
+	case "csv":
+		if err := res.Summary.WriteCSV(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return res.Front.WriteCSV(w)
+	}
+	return res.WriteASCII(w)
 }
 
 // writeCSVFile saves one experiment table as <outdir>/<id>.csv.

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"onocsim"
 	"onocsim/internal/cliutil"
+	"onocsim/internal/config"
 )
 
 // smallCfgFile writes a fast config and returns its path.
@@ -22,9 +25,14 @@ func smallCfgFile(t *testing.T) string {
 	return path
 }
 
+// opts builds the baseline option set the old positional signature implied.
+func opts(cfgPath, network, mode, format string) options {
+	return options{cfgPath: cfgPath, network: network, mode: mode, format: format}
+}
+
 func TestRunExecMode(t *testing.T) {
 	for _, network := range []string{"ideal", "electrical", "optical"} {
-		if err := run(smallCfgFile(t), network, "exec", "ascii", "", "", false, 0, false, false, 0); err != nil {
+		if err := run(opts(smallCfgFile(t), network, "exec", "ascii")); err != nil {
 			t.Fatalf("exec on %s: %v", network, err)
 		}
 	}
@@ -32,46 +40,103 @@ func TestRunExecMode(t *testing.T) {
 
 func TestRunExecModeFaulted(t *testing.T) {
 	for _, preset := range []string{"light", "heavy"} {
-		if err := run(smallCfgFile(t), "optical", "exec", "ascii", preset, "", false, 0, false, false, 0); err != nil {
+		o := opts(smallCfgFile(t), "optical", "exec", "ascii")
+		o.faults = preset
+		if err := run(o); err != nil {
 			t.Fatalf("faulted exec (%s): %v", preset, err)
 		}
 	}
 }
 
 func TestRunStudyMode(t *testing.T) {
-	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 0, false, false, 0); err != nil {
+	if err := run(opts(smallCfgFile(t), "optical", "study", "ascii")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStudyModeSharded(t *testing.T) {
-	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 4, false, false, 0); err != nil {
+	o := opts(smallCfgFile(t), "optical", "study", "ascii")
+	o.shards = 4
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStudyModeStreaming(t *testing.T) {
-	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 2, true, false, 1<<12); err != nil {
+	o := opts(smallCfgFile(t), "optical", "study", "ascii")
+	o.shards = 2
+	o.stream = true
+	o.window = 1 << 12
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStudyModeIncremental(t *testing.T) {
-	if err := run(smallCfgFile(t), "optical", "study", "ascii", "", "", false, 0, false, true, 0); err != nil {
+	o := opts(smallCfgFile(t), "optical", "study", "ascii")
+	o.incr = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The two job-pipeline modes the CLI gained with the unified pipeline: a
+// correction run and its closed-form estimate.
+func TestRunCorrectAndEstimateModes(t *testing.T) {
+	cfgPath := smallCfgFile(t)
+	for _, mode := range []string{"correct", "estimate"} {
+		if err := run(opts(cfgPath, "optical", mode, "ascii")); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
 	}
 }
 
 func TestRunJSONFormats(t *testing.T) {
 	cfgPath := smallCfgFile(t)
-	if err := run(cfgPath, "optical", "exec", "json", "", "", false, 0, false, false, 0); err != nil {
+	if err := run(opts(cfgPath, "optical", "exec", "json")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfgPath, "optical", "study", "json", "", "", false, 0, false, false, 0); err != nil {
+	if err := run(opts(cfgPath, "optical", "study", "json")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfgPath, "optical", "exec", "yaml", "", "", false, 0, false, false, 0); err == nil {
+	if err := run(opts(cfgPath, "optical", "exec", "yaml")); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestRunSweepMode drives the sweep pipeline through the CLI entry point on
+// a deliberately tiny grid (2 unique arms after identity collapsing).
+func TestRunSweepMode(t *testing.T) {
+	spec := config.Sweep{
+		Networks:    []config.NetworkKind{config.NetElectrical, config.NetOptical},
+		Cores:       []int{16},
+		Wavelengths: []int{16},
+		Faults:      []string{"off"},
+		Kernels:     []string{"stencil"},
+		Quick:       true,
+	}
+	spec.Normalize()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"ascii", "json"} {
+		o := options{mode: "sweep", format: format, sweepPath: path}
+		if err := run(o); err != nil {
+			t.Fatalf("sweep (%s): %v", format, err)
+		}
+	}
+	// A bad spec is a runtime error, not a crash.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"cores":[7]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{mode: "sweep", format: "ascii", sweepPath: bad}); err == nil {
+		t.Fatal("invalid sweep spec accepted")
 	}
 }
 
@@ -80,17 +145,21 @@ func TestRunJSONFormats(t *testing.T) {
 // missing config file exit 1.
 func TestRunExitCodes(t *testing.T) {
 	cfgPath := smallCfgFile(t)
+	badSeed := opts(cfgPath, "optical", "exec", "ascii")
+	badSeed.seedMode = "entrails"
+	badFaults := opts(cfgPath, "optical", "exec", "ascii")
+	badFaults.faults = "catastrophic"
 	cases := []struct {
 		name string
 		err  error
 		want int
 	}{
-		{"unknown mode", run(cfgPath, "optical", "teleport", "ascii", "", "", false, 0, false, false, 0), 2},
-		{"unknown network", run(cfgPath, "warp", "exec", "ascii", "", "", false, 0, false, false, 0), 2},
-		{"unknown format", run(cfgPath, "optical", "exec", "yaml", "", "", false, 0, false, false, 0), 2},
-		{"unknown faults preset", run(cfgPath, "optical", "exec", "ascii", "catastrophic", "", false, 0, false, false, 0), 2},
-		{"unknown seed mode", run(cfgPath, "optical", "exec", "ascii", "", "entrails", false, 0, false, false, 0), 1},
-		{"missing config", run(filepath.Join(t.TempDir(), "nope.json"), "optical", "exec", "ascii", "", "", false, 0, false, false, 0), 1},
+		{"unknown mode", run(opts(cfgPath, "optical", "teleport", "ascii")), 2},
+		{"unknown network", run(opts(cfgPath, "warp", "exec", "ascii")), 2},
+		{"unknown format", run(opts(cfgPath, "optical", "exec", "yaml")), 2},
+		{"unknown faults preset", run(badFaults), 2},
+		{"unknown seed mode", run(badSeed), 1},
+		{"missing config", run(opts(filepath.Join(t.TempDir(), "nope.json"), "optical", "exec", "ascii")), 1},
 	}
 	for _, tc := range cases {
 		if tc.err == nil {

@@ -169,8 +169,55 @@ var ErrParked = errors.New("core: self-correction parked before convergence")
 // park costs at most one round of latency and the partial trajectory is
 // byte-identical to a prefix of the uncancelled run's.
 func SelfCorrectShardedSeededCtx(ctx context.Context, factory NetworkFactory, tr *trace.Trace, cfg config.SCTM, shards int, seed []sim.Tick) (CorrectionResult, error) {
+	res, _, err := SelfCorrectParkableCtx(ctx, factory, tr, cfg, shards, seed, nil)
+	return res, err
+}
+
+// ParkState snapshots a parked correction loop at the round boundary it
+// stopped at: the blended latency estimates, the derived schedule the next
+// round would have replayed, the trajectory so far, and — crucially — the
+// live round runner, whose fabric checkpoints (the incremental engine's
+// noc.Checkpointer ladders) survive the park intact. Resuming through
+// SelfCorrectParkableCtx continues the loop exactly where it stopped: the
+// completed run is byte-identical to one that never parked, and an
+// incremental resume replays only the dirty suffix of its first resumed
+// round instead of starting the whole fixpoint from scratch.
+//
+// A ParkState is bound to the (trace, SCTM config, fabric) triple that
+// produced it and is single-use: the runner inside is not safe for
+// concurrent resumes. Callers that stash states must hand each one to at
+// most one resume.
+type ParkState struct {
+	runner     roundRunner
+	lat        []sim.Tick
+	prev       []sim.Tick
+	iterations []Iteration
+	final      ReplayResult
+	cycles     sim.Tick
+}
+
+// Rounds reports how many correction rounds completed before the park.
+func (p *ParkState) Rounds() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.iterations)
+}
+
+// SelfCorrectParkableCtx is SelfCorrectShardedSeededCtx with explicit park
+// state: a parked run returns a non-nil *ParkState alongside the ErrParked
+// error, and passing that state back (same trace, config and fabric kind)
+// resumes the loop at the parked round boundary instead of restarting. With
+// a nil resume the call is identical to SelfCorrectShardedSeededCtx. seed is
+// ignored on resume — the state's blended latencies take precedence.
+func SelfCorrectParkableCtx(ctx context.Context, factory NetworkFactory, tr *trace.Trace, cfg config.SCTM, shards int, seed []sim.Tick, resume *ParkState) (CorrectionResult, *ParkState, error) {
 	var runner roundRunner
 	switch {
+	case resume != nil && resume.runner != nil:
+		// The parked runner carries the fabric checkpoints the resumed
+		// rounds restore from; a fresh runner would be correct but would
+		// replay its first round in full.
+		runner = resume.runner
 	case shards <= 1 && cfg.Incremental:
 		runner = newIncrSerial(factory)
 	case shards <= 1:
@@ -180,7 +227,7 @@ func SelfCorrectShardedSeededCtx(ctx context.Context, factory NetworkFactory, tr
 	default:
 		runner = NewShardedReplayer(factory, shards)
 	}
-	return selfCorrectCtx(ctx, runner, tr, cfg, seed)
+	return selfCorrectParkable(ctx, runner, tr, cfg, seed, resume)
 }
 
 func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []sim.Tick) (CorrectionResult, error) {
@@ -188,8 +235,13 @@ func selfCorrect(runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []si
 }
 
 func selfCorrectCtx(ctx context.Context, runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []sim.Tick) (CorrectionResult, error) {
+	res, _, err := selfCorrectParkable(ctx, runner, tr, cfg, seed, nil)
+	return res, err
+}
+
+func selfCorrectParkable(ctx context.Context, runner roundRunner, tr *trace.Trace, cfg config.SCTM, seed []sim.Tick, resume *ParkState) (CorrectionResult, *ParkState, error) {
 	if err := tr.Validate(); err != nil {
-		return CorrectionResult{}, fmt.Errorf("core: invalid trace: %w", err)
+		return CorrectionResult{}, nil, fmt.Errorf("core: invalid trace: %w", err)
 	}
 	opts := ScheduleOptions{
 		DisableSyncDeps:   cfg.DisableSyncDeps,
@@ -216,7 +268,11 @@ func selfCorrectCtx(ctx context.Context, runner roundRunner, tr *trace.Trace, cf
 		hooks.work = w.work
 	}
 	hooks.stop = ctx.Err
-	return correctionLoop(hooks, cfg, seed)
+	res, state, err := correctionLoopResume(hooks, cfg, seed, resume)
+	if state != nil {
+		state.runner = runner
+	}
+	return res, state, err
 }
 
 // correctionHooks abstracts the three trace-touching operations of one
@@ -241,27 +297,51 @@ type correctionHooks struct {
 // correctionLoop is the fixpoint iteration shared by SelfCorrect and its
 // streaming counterpart.
 func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (CorrectionResult, error) {
+	res, _, err := correctionLoopResume(h, cfg, seed, nil)
+	return res, err
+}
+
+// correctionLoopResume is correctionLoop with park-state plumbing: a parked
+// exit returns the state the loop can later be re-entered with, and a
+// non-nil resume re-enters at the parked round boundary — skipping seeding
+// and the initial schedule derivation, with the trajectory so far already in
+// place.
+func correctionLoopResume(h correctionHooks, cfg config.SCTM, seed []sim.Tick, resume *ParkState) (CorrectionResult, *ParkState, error) {
 	n := h.n
 
-	// Seed latencies: an externally supplied per-event estimate wins (the
-	// damping blend mutates lat in place, so the caller's slice is copied),
-	// then a fixed constant if configured, else the target fabric's
-	// zero-load estimate per message.
-	lat := make([]sim.Tick, n)
-	if seed != nil {
-		if len(seed) != n {
-			return CorrectionResult{}, fmt.Errorf("core: seed has %d latencies for %d events", len(seed), n)
-		}
-		copy(lat, seed)
-	} else if cfg.InitialLatencyCycles > 0 {
-		for i := range lat {
-			lat[i] = sim.Tick(cfg.InitialLatencyCycles)
-		}
-	} else if err := h.zeroSeed(lat); err != nil {
-		return CorrectionResult{}, fmt.Errorf("core: zero-load seeding: %w", err)
-	}
-
 	var out CorrectionResult
+	var lat, prev []sim.Tick
+	if resume != nil {
+		if len(resume.lat) != n || len(resume.prev) != n {
+			return CorrectionResult{}, nil, fmt.Errorf("core: resume state sized for %d events, trace has %d", len(resume.lat), n)
+		}
+		if len(resume.iterations) >= cfg.MaxIterations {
+			return CorrectionResult{}, nil, fmt.Errorf("core: resume state has %d rounds, budget is %d", len(resume.iterations), cfg.MaxIterations)
+		}
+		lat = append([]sim.Tick(nil), resume.lat...)
+		prev = append([]sim.Tick(nil), resume.prev...)
+		out.Iterations = append([]Iteration(nil), resume.iterations...)
+		out.Final = resume.final
+		out.TotalCycles = resume.cycles
+	} else {
+		// Seed latencies: an externally supplied per-event estimate wins (the
+		// damping blend mutates lat in place, so the caller's slice is copied),
+		// then a fixed constant if configured, else the target fabric's
+		// zero-load estimate per message.
+		lat = make([]sim.Tick, n)
+		if seed != nil {
+			if len(seed) != n {
+				return CorrectionResult{}, nil, fmt.Errorf("core: seed has %d latencies for %d events", len(seed), n)
+			}
+			copy(lat, seed)
+		} else if cfg.InitialLatencyCycles > 0 {
+			for i := range lat {
+				lat[i] = sim.Tick(cfg.InitialLatencyCycles)
+			}
+		} else if err := h.zeroSeed(lat); err != nil {
+			return CorrectionResult{}, nil, fmt.Errorf("core: zero-load seeding: %w", err)
+		}
+	}
 	// finish fills the work counters at every successful exit; full-replay
 	// runners charge the whole trace to every round.
 	finish := func() {
@@ -290,23 +370,32 @@ func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (Correc
 		})
 		return err
 	}
-	var prev []sim.Tick
-	if err := labeled(-1, "schedule", func() (err error) {
-		prev, err = h.schedule(lat)
-		return err
-	}); err != nil {
-		return CorrectionResult{}, fmt.Errorf("core: deriving schedule: %w", err)
+	if resume == nil {
+		if err := labeled(-1, "schedule", func() (err error) {
+			prev, err = h.schedule(lat)
+			return err
+		}); err != nil {
+			return CorrectionResult{}, nil, fmt.Errorf("core: deriving schedule: %w", err)
+		}
 	}
-	for round := 0; round < cfg.MaxIterations; round++ {
+	for round := len(out.Iterations); round < cfg.MaxIterations; round++ {
 		// Park point: the round boundary is where the incremental engine
 		// checkpoints, so stopping here loses at most the round that was
 		// about to start, never work already done. The partial result is
 		// returned alongside the error — callers decide whether the
-		// trajectory so far is worth reporting.
+		// trajectory so far is worth reporting — together with the state a
+		// later call can resume from.
 		if h.stop != nil {
 			if cause := h.stop(); cause != nil {
 				finish()
-				return out, fmt.Errorf("%w after %d of %d rounds: %v",
+				state := &ParkState{
+					lat:        append([]sim.Tick(nil), lat...),
+					prev:       append([]sim.Tick(nil), prev...),
+					iterations: append([]Iteration(nil), out.Iterations...),
+					final:      out.Final,
+					cycles:     out.TotalCycles,
+				}
+				return out, state, fmt.Errorf("%w after %d of %d rounds: %v",
 					ErrParked, len(out.Iterations), cfg.MaxIterations, cause)
 			}
 		}
@@ -315,7 +404,7 @@ func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (Correc
 			res, err = h.run(prev)
 			return err
 		}); err != nil {
-			return CorrectionResult{}, fmt.Errorf("core: correction round %d: %w", round, err)
+			return CorrectionResult{}, nil, fmt.Errorf("core: correction round %d: %w", round, err)
 		}
 		out.TotalCycles += res.Cycles
 		// Blend measured latencies into the running estimates. Damping
@@ -335,7 +424,7 @@ func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (Correc
 			next, err = h.schedule(lat)
 			return err
 		}); err != nil {
-			return CorrectionResult{}, fmt.Errorf("core: correction round %d: %w", round, err)
+			return CorrectionResult{}, nil, fmt.Errorf("core: correction round %d: %w", round, err)
 		}
 		delta := MaxScheduleDelta(next, prev)
 		out.Iterations = append(out.Iterations, Iteration{
@@ -353,7 +442,7 @@ func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (Correc
 		if delta <= sim.Tick(cfg.ToleranceCycles) {
 			out.Converged = true
 			finish()
-			return out, nil
+			return out, nil, nil
 		}
 		// Aggregate-stability criterion: under contention the per-event
 		// schedule keeps jittering by a few hundred cycles while the
@@ -367,11 +456,11 @@ func correctionLoop(h correctionHooks, cfg config.SCTM, seed []sim.Tick) (Correc
 			if float64(diff) <= cfg.MakespanTolerance*float64(res.Makespan) {
 				out.Converged = true
 				finish()
-				return out, nil
+				return out, nil, nil
 			}
 		}
 		prev = next
 	}
 	finish()
-	return out, nil
+	return out, nil, nil
 }

@@ -136,10 +136,10 @@ func TestByNameUnknown(t *testing.T) {
 	if _, err := ByName("r99", quickOpts); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if len(Names()) != 19 {
+	if len(Names()) != 20 {
 		t.Fatalf("Names() = %v", Names())
 	}
-	if Known("r99") || !Known("r19") {
+	if Known("r99") || !Known("r20") {
 		t.Fatal("Known misclassifies experiment names")
 	}
 }

@@ -225,6 +225,14 @@ var registry = []Descriptor{
 		Needs:     []Need{NeedIdealCapture},
 		Run:       R19Seeding,
 	},
+	{
+		ID:        "r20",
+		Title:     "Design-space sweep: Pareto front over latency, throughput and power (extension)",
+		Summary:   "fabric x radix x WDM x faults x kernel grid through the job pipeline, analytically prefiltered, reduced to Pareto fronts",
+		CostClass: CostHeavy,
+		Needs:     []Need{NeedIdealCapture},
+		Run:       R20DesignSpace,
+	},
 }
 
 // Registry returns the experiment descriptors in canonical report order.

@@ -1,0 +1,197 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"onocsim"
+	"onocsim/internal/metrics"
+)
+
+func TestParseOp(t *testing.T) {
+	for _, s := range []string{"exec", "study", "correct", "estimate", "experiment"} {
+		op, err := ParseOp(s)
+		if err != nil || string(op) != s {
+			t.Fatalf("ParseOp(%q) = %q, %v", s, op, err)
+		}
+	}
+	if _, err := ParseOp("teleport"); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestAdmissionPricing(t *testing.T) {
+	cases := []struct {
+		job   Job
+		class onocsim.SlotClass
+		units int
+	}{
+		{Job{Op: OpStudy}, onocsim.SlotHeavy, 4},
+		{Job{Op: OpEstimate}, onocsim.SlotLight, 1},
+		{Job{Op: OpExec}, onocsim.SlotMedium, 2},
+		{Job{Op: OpCorrect}, onocsim.SlotMedium, 2},
+		{Job{Op: OpExperiment, Cost: "light"}, onocsim.SlotLight, 1},
+		{Job{Op: OpExperiment, Cost: "heavy"}, onocsim.SlotHeavy, 4},
+		{Job{Op: OpExperiment, Cost: "medium"}, onocsim.SlotMedium, 2},
+		{Job{Op: OpExperiment}, onocsim.SlotMedium, 2},
+	}
+	for _, tc := range cases {
+		class, units := tc.job.Admission()
+		if class != tc.class || units != tc.units {
+			t.Errorf("%s/%s: admission %v/%d, want %v/%d",
+				tc.job.Op, tc.job.Cost, class, units, tc.class, tc.units)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	ok := Job{Op: OpExec, Config: cfg, Kind: onocsim.Optical}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		job  Job
+		want string
+	}{
+		{"experiment without id", Job{Op: OpExperiment}, "experiment id"},
+		{"trace path on exec", Job{Op: OpExec, Config: cfg, Kind: onocsim.Optical, TracePath: "t.bin"}, "trace path"},
+		{"unknown op", Job{Op: "teleport"}, "unknown op"},
+	}
+	for _, tc := range cases {
+		err := tc.job.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	cfg := onocsim.DefaultConfig()
+	fp, err := (Job{Op: OpExec, Config: cfg, Kind: onocsim.Optical}).Fingerprint()
+	if err != nil || fp == "" {
+		t.Fatalf("Fingerprint() = %q, %v", fp, err)
+	}
+	// Experiment identity is the registry id, not a config digest.
+	fp, err = (Job{Op: OpExperiment, Experiment: "r1"}).Fingerprint()
+	if err != nil || fp != "" {
+		t.Fatalf("experiment fingerprint = %q, %v, want empty", fp, err)
+	}
+}
+
+// smallJob is a fast valid simulation job on the optical fabric.
+func smallJob(op Op) Job {
+	cfg := onocsim.DefaultConfig()
+	cfg.System.Cores = 16
+	cfg.Workload.Scale = 4
+	cfg.Workload.Iterations = 2
+	return Job{Op: op, Config: cfg, Kind: onocsim.Optical}
+}
+
+// Every simulation op runs end to end through a shared session, returns a
+// rendered table, and sets exactly the payload pointer its op promises.
+func TestRunnerOps(t *testing.T) {
+	r := &Runner{Session: onocsim.NewSession("")}
+	for _, op := range []Op{OpExec, OpStudy, OpCorrect, OpEstimate} {
+		res, err := r.Run(context.Background(), smallJob(op))
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if res.Status != "ok" || res.Table == nil {
+			t.Fatalf("%s: status %q, table %v", op, res.Status, res.Table)
+		}
+		set := 0
+		for _, p := range []bool{res.Truth != nil, res.Study != nil, res.Correction != nil, res.Estimate != nil} {
+			if p {
+				set++
+			}
+		}
+		if set != 1 {
+			t.Fatalf("%s: %d payload pointers set, want exactly 1", op, set)
+		}
+		if op == OpCorrect || op == OpEstimate {
+			if res.TraceEvents == 0 || res.TraceBytes == 0 {
+				t.Fatalf("%s: trace accounting empty: %d events, %d bytes", op, res.TraceEvents, res.TraceBytes)
+			}
+		}
+	}
+}
+
+// A sessionless runner degrades to uncached execution — the same nil-safety
+// the Session methods themselves offer — while an experiment job without an
+// installed dispatcher is a wiring error.
+func TestRunnerNilWiring(t *testing.T) {
+	r := &Runner{}
+	res, err := r.Run(context.Background(), smallJob(OpExec))
+	if err != nil || res.Truth == nil {
+		t.Fatalf("sessionless simulation: %+v, %v", res, err)
+	}
+	if _, err := r.Run(context.Background(), Job{Op: OpExperiment, Experiment: "r1"}); err == nil {
+		t.Fatal("experiment without dispatcher accepted")
+	}
+}
+
+func TestRunnerExperimentDispatch(t *testing.T) {
+	want := metrics.NewTable("stub", "col")
+	r := &Runner{Experiment: func(_ context.Context, id string) (*metrics.Table, error) {
+		if id != "r1" {
+			return nil, fmt.Errorf("unexpected id %q", id)
+		}
+		return want, nil
+	}}
+	res, err := r.Run(context.Background(), Job{Op: OpExperiment, Experiment: "r1", Cost: "light"})
+	if err != nil || res.Table != want {
+		t.Fatalf("dispatch: table %v, err %v", res.Table, err)
+	}
+}
+
+// A job whose own context dies mid-correction reports the parked partial
+// trajectory instead of erroring or retrying forever.
+func TestRunnerReportsOwnPark(t *testing.T) {
+	j := smallJob(OpCorrect)
+	j.Config.SCTM.MaxIterations = 50
+	j.Config.SCTM.ToleranceCycles = 0
+	j.Config.SCTM.MakespanTolerance = 0
+	j.Config.SCTM.Damping = 0.9
+	j.Config.SCTM.Seed = "fixed"
+	j.Config.SCTM.InitialLatencyCycles = 5000
+
+	r := &Runner{Session: onocsim.NewSession("")}
+	ctx := &pollCtx{Context: context.Background(), remaining: 10}
+	res, err := r.Run(ctx, j)
+	if err != nil {
+		t.Fatalf("parked run surfaced an error: %v", err)
+	}
+	if res.Status != "parked" || res.Table == nil || res.Correction == nil {
+		t.Fatalf("park not reported: status %q, table %v, correction %v", res.Status, res.Table, res.Correction)
+	}
+	if res.Correction.Converged || len(res.Correction.Iterations) == 0 {
+		t.Fatalf("parked trajectory implausible: %+v", res.Correction)
+	}
+	// A plain cancellation before any round yields the error, not a report.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Run(dead, j); !errors.Is(err, context.Canceled) && !errors.Is(err, onocsim.ErrParked) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+}
+
+// pollCtx reports Canceled after a fixed number of Err polls, landing the
+// park mid-loop (the correction loop polls once per round boundary).
+type pollCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *pollCtx) Err() error {
+	if c.remaining > 0 {
+		c.remaining--
+		return nil
+	}
+	return context.Canceled
+}

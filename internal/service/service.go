@@ -16,6 +16,17 @@
 //	POST /v1/experiments/{id}   — run one registry experiment
 //	POST /v1/simulate           — run one simulation (op: exec | study |
 //	                              correct | estimate)
+//	POST /v1/sweeps             — run a design-space sweep (body: a
+//	                              config.Sweep spec; empty body sweeps the
+//	                              default grid)
+//
+// Every request reduces to the typed internal/job pipeline: handlers decode
+// into a job.Job, price it with the job's admission class, and execute it
+// through one job.Runner over the shared session — the same path the onocsim
+// CLI takes, which is what keeps the two front ends' tables byte-identical.
+// A sweep expands into many jobs; its handler holds no admission units
+// itself — each arm admits individually, so a sweep's arms interleave fairly
+// with interactive requests instead of reserving the budget up front.
 //
 // Any POST streams progress as Server-Sent Events when the client asks for
 // text/event-stream (Accept header or ?stream=sse): `event: progress` lines
@@ -35,6 +46,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -46,9 +58,10 @@ import (
 	"onocsim"
 	"onocsim/internal/config"
 	"onocsim/internal/experiments"
+	"onocsim/internal/job"
 	"onocsim/internal/metrics"
-	"onocsim/internal/report"
 	"onocsim/internal/simcache"
+	"onocsim/internal/sweep"
 )
 
 // ResponseVersion guards the service's JSON envelopes against schema drift,
@@ -79,6 +92,7 @@ type Config struct {
 type Server struct {
 	session *onocsim.Session
 	sched   *onocsim.SlotScheduler
+	runner  *job.Runner
 	hub     *hub
 	mux     *http.ServeMux
 	quick   bool
@@ -109,11 +123,25 @@ func New(cfg Config) *Server {
 	}
 	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
 	s.session.SetProgress(s.hub)
+	s.runner = &job.Runner{
+		Session: s.session,
+		// The job pipeline must not depend on the registry (experiments
+		// build on jobs, not the reverse), so the dispatch is injected
+		// here, where both sides are visible.
+		Experiment: func(_ context.Context, id string) (*metrics.Table, error) {
+			return experiments.ByName(id, experiments.Options{
+				Session:  s.session,
+				Quick:    s.quick,
+				Progress: s.hub,
+			})
+		},
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperimentRun)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	return s
 }
 
@@ -146,32 +174,6 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, func()) {
 	ctx, cancel := context.WithCancelCause(r.Context())
 	stop := context.AfterFunc(s.drainCtx, func() { cancel(errDraining) })
 	return ctx, func() { stop(); cancel(nil) }
-}
-
-// admission maps a registry cost class to the scheduler's pricing. The
-// weights are deliberately coarse: they exist to keep a burst of heavy
-// sweeps from monopolizing the budget, not to model cost precisely.
-func admission(c experiments.CostClass) (onocsim.SlotClass, int) {
-	switch c {
-	case experiments.CostLight:
-		return onocsim.SlotLight, 1
-	case experiments.CostHeavy:
-		return onocsim.SlotHeavy, 4
-	default:
-		return onocsim.SlotMedium, 2
-	}
-}
-
-// opAdmission prices the simulate ops on the same scale.
-func opAdmission(op string) (onocsim.SlotClass, int) {
-	switch op {
-	case "study":
-		return onocsim.SlotHeavy, 4
-	case "estimate":
-		return onocsim.SlotLight, 1
-	default: // exec, correct
-		return onocsim.SlotMedium, 2
-	}
 }
 
 // resultEnvelope is the service's versioned JSON result document. Table is
@@ -309,36 +311,37 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cleanup := s.requestCtx(r)
 	defer cleanup()
-	class, units := admission(d.CostClass)
+	j := job.Job{Op: job.OpExperiment, Experiment: id, Cost: string(d.CostClass)}
+	class, units := j.Admission()
 	if err := s.sched.Acquire(ctx, class, units); err != nil {
 		writeError(w, fmt.Errorf("admission: %w", err))
 		return
 	}
 	defer s.sched.Release(units)
-	s.respond(w, r, func() (resultEnvelope, error) {
-		start := time.Now()
+	s.respond(w, r, func() (any, error) {
 		// Experiments are cancellable at admission and between their leaf
 		// simulations (each queues on the process-wide slot scheduler under
 		// the session), but a leaf that is already running completes.
-		t, err := experiments.ByName(id, experiments.Options{
-			Session:  s.session,
-			Quick:    s.quick,
-			Progress: s.hub,
-		})
+		res, err := s.runner.Run(ctx, j)
 		if err != nil {
-			return resultEnvelope{}, err
+			return nil, err
 		}
-		return envelope("experiment:"+id, "", "", "ok", time.Since(start), t)
+		return envelope("experiment:"+id, "", "", res.Status, res.Elapsed, res.Table)
 	})
 }
 
 // simulateRequest is the /v1/simulate body. Config is a full config
 // document in the same JSON schema as `onocsim -config` files (validated,
-// unknown fields rejected); omitted, the baseline config is used.
+// unknown fields rejected); omitted, the baseline config is used. Trace
+// optionally names a stored binary trace file on the server host: a correct
+// op then streams it out-of-core (keyed by content digest) instead of
+// capturing the config's kernel — how big tenant traces run without ever
+// being materialized in daemon memory.
 type simulateRequest struct {
 	Op      string          `json:"op"`
 	Network string          `json:"network"`
 	Config  json.RawMessage `json:"config"`
+	Trace   string          `json:"trace"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -374,12 +377,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if req.Network != "" {
 		kind = onocsim.NetworkKind(req.Network)
 	}
-	if err := onocsim.ValidateNetworkKind(cfg, kind); err != nil {
+	cfg.Network = kind
+	j := job.Job{Op: job.Op(req.Op), Config: cfg, Kind: kind, TracePath: req.Trace}
+	if err := j.Validate(); err != nil {
 		writeError(w, badRequestf("%v", err))
 		return
 	}
-	cfg.Network = kind
-	fp, err := cfg.Fingerprint()
+	fp, err := j.Fingerprint()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -387,89 +391,98 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cleanup := s.requestCtx(r)
 	defer cleanup()
-	class, units := opAdmission(req.Op)
+	class, units := j.Admission()
 	if err := s.sched.Acquire(ctx, class, units); err != nil {
 		writeError(w, fmt.Errorf("admission: %w", err))
 		return
 	}
 	defer s.sched.Release(units)
 
-	s.respond(w, r, func() (resultEnvelope, error) {
-		start := time.Now()
-		t, status, err := s.compute(ctx, req.Op, cfg, kind)
+	s.respond(w, r, func() (any, error) {
+		res, err := s.runner.Run(ctx, j)
 		if err != nil {
-			return resultEnvelope{}, err
+			return nil, err
 		}
-		return envelope(req.Op, string(kind), fp, status, time.Since(start), t)
+		return envelope(req.Op, string(kind), fp, res.Status, res.Elapsed, res.Table)
 	})
 }
 
-// compute runs one simulate op through the shared session. Deduplicated
-// flights self-heal: when a request is deduplicated onto another client's
-// computation and that client disconnects (killing the flight with a
-// cancellation or a park), the still-connected request retries the — now
-// vacant — flight itself, up to twice. A park caused by this request's own
-// lifecycle (client gone or server draining) is terminal and returns the
-// partial result with status "parked".
-func (s *Server) compute(ctx context.Context, op string, cfg onocsim.Config, kind onocsim.NetworkKind) (*metrics.Table, string, error) {
-	for attempt := 0; ; attempt++ {
-		t, status, err := s.computeOnce(ctx, op, cfg, kind)
-		if err == nil {
-			return t, status, nil
-		}
-		if errors.Is(err, onocsim.ErrParked) && t != nil {
-			// This request's own computation parked and carried its partial
-			// trajectory out; report it rather than retrying a dying server.
-			return t, "parked", nil
-		}
-		retryable := errors.Is(err, context.Canceled) || errors.Is(err, onocsim.ErrParked)
-		if !retryable || attempt >= 2 || ctx.Err() != nil {
-			return nil, "", err
-		}
-	}
+// sweepEnvelope is the /v1/sweeps result document. Front and Summary are
+// metrics.Table JSON — the same bytes `onocsim -mode sweep -format json`
+// embeds, since both front ends render through internal/sweep.
+type sweepEnvelope struct {
+	Version    int             `json:"version"`
+	Name       string          `json:"name"`
+	Status     string          `json:"status"`
+	ElapsedMS  int64           `json:"elapsed_ms"`
+	Arms       int             `json:"arms"`
+	UniqueJobs int             `json:"unique_jobs"`
+	Pruned     int             `json:"pruned"`
+	Simulated  int             `json:"simulated"`
+	Front      json.RawMessage `json:"front"`
+	Summary    json.RawMessage `json:"summary"`
 }
 
-func (s *Server) computeOnce(ctx context.Context, op string, cfg onocsim.Config, kind onocsim.NetworkKind) (*metrics.Table, string, error) {
-	switch op {
-	case "exec":
-		res, err := s.session.RunExecutionDrivenContext(ctx, cfg, kind)
-		if err != nil {
-			return nil, "", err
-		}
-		return report.Exec(cfg, kind, res), "ok", nil
-	case "study":
-		st, err := s.session.RunStudyContext(ctx, cfg, kind)
-		if err != nil {
-			return nil, "", err
-		}
-		return report.Study(cfg, kind, st), "ok", nil
-	case "correct":
-		tr, _, err := s.session.CaptureTraceContext(ctx, cfg, onocsim.IdealNet)
-		if err != nil {
-			return nil, "", err
-		}
-		res, wall, err := s.session.RunSelfCorrectionContext(ctx, cfg, tr, kind)
-		if err != nil {
-			if errors.Is(err, onocsim.ErrParked) && len(res.Iterations) > 0 {
-				// The partial trajectory came back with the park: render it.
-				return report.Correction(cfg, kind, res, wall, true), "parked", err
-			}
-			return nil, "", err
-		}
-		return report.Correction(cfg, kind, res, wall, false), "ok", nil
-	case "estimate":
-		tr, _, err := s.session.CaptureTraceContext(ctx, cfg, onocsim.IdealNet)
-		if err != nil {
-			return nil, "", err
-		}
-		res, wall, err := s.session.Estimate(cfg, tr, kind)
-		if err != nil {
-			return nil, "", err
-		}
-		return report.Estimate(cfg, kind, res, wall), "ok", nil
-	default:
-		return nil, "", badRequestf("unknown op %q", op)
+// handleSweep runs a design-space sweep. The handler holds no admission
+// units itself — every arm admits individually through the shared scheduler
+// (estimates light, simulations medium), so hundreds of arms interleave
+// fairly with interactive requests instead of reserving the whole budget.
+// SSE clients receive one "sweep-arm" progress event per unique arm and
+// phase.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.Draining() {
+		writeError(w, errDraining)
+		return
 	}
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		writeError(w, badRequestf("read request: %v", err))
+		return
+	}
+	spec := config.DefaultSweep()
+	spec.Normalize()
+	if len(bytes.TrimSpace(data)) > 0 {
+		spec, err = config.ParseSweep(data)
+		if err != nil {
+			writeError(w, badRequestf("%v", err))
+			return
+		}
+	}
+	ctx, cleanup := s.requestCtx(r)
+	defer cleanup()
+	s.respond(w, r, func() (any, error) {
+		start := time.Now()
+		res, err := sweep.Run(ctx, spec, sweep.Options{
+			Session:  s.session,
+			Progress: s.hub,
+			Sched:    s.sched,
+		})
+		if err != nil {
+			return nil, err
+		}
+		front, err := json.Marshal(res.Front)
+		if err != nil {
+			return nil, err
+		}
+		summary, err := json.Marshal(res.Summary)
+		if err != nil {
+			return nil, err
+		}
+		return sweepEnvelope{
+			Version:    ResponseVersion,
+			Name:       res.Spec.Name,
+			Status:     "ok",
+			ElapsedMS:  time.Since(start).Milliseconds(),
+			Arms:       res.Arms,
+			UniqueJobs: res.UniqueJobs,
+			Pruned:     res.Pruned,
+			Simulated:  res.Simulated,
+			Front:      front,
+			Summary:    summary,
+		}, nil
+	})
 }
 
 // wantsSSE reports whether the client asked for an event stream.
@@ -480,10 +493,10 @@ func wantsSSE(r *http.Request) bool {
 	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 }
 
-// respond runs compute and delivers its result: as one JSON document, or —
-// when the client asked for SSE — as a progress stream terminated by a
-// result (or error) event.
-func (s *Server) respond(w http.ResponseWriter, r *http.Request, compute func() (resultEnvelope, error)) {
+// respond runs compute and delivers its result envelope: as one JSON
+// document, or — when the client asked for SSE — as a progress stream
+// terminated by a result (or error) event.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, compute func() (any, error)) {
 	fl, canFlush := w.(http.Flusher)
 	if !wantsSSE(r) || !canFlush {
 		env, err := compute()
@@ -501,7 +514,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, compute func() 
 	events, unsubscribe := s.hub.subscribe()
 	defer unsubscribe()
 	done := make(chan struct{})
-	var env resultEnvelope
+	var env any
 	var cerr error
 	go func() {
 		defer close(done)

@@ -280,14 +280,15 @@ func TestExperimentEndpoints(t *testing.T) {
 func TestDrainParksInFlightCorrection(t *testing.T) {
 	srv, ts := newTestServer(t)
 	// A fixed seed far above the real latencies plus heavy damping forces a
-	// long geometric approach (~60 rounds before the schedule can freeze):
+	// long geometric approach (~350 rounds before the schedule can freeze):
 	// a wide, deterministic window of round boundaries for the park to
-	// land on.
+	// land on, even on a fast host where each round takes well under a
+	// millisecond and the drain poll below runs over HTTP.
 	body := `{"op":"correct","network":"optical","config":{
 		"system":{"cores":16},
 		"workload":{"kernel":"stencil","scale":4,"iterations":2},
-		"sctm":{"max_iterations":500,"tolerance_cycles":0,"makespan_tolerance":0,
-			"damping":0.9,"seed":"fixed","initial_latency_cycles":5000},
+		"sctm":{"max_iterations":1000,"tolerance_cycles":0,"makespan_tolerance":0,
+			"damping":0.97,"seed":"fixed","initial_latency_cycles":20000},
 		"max_cycles":5000000}}`
 	resp, err := http.Post(ts.URL+"/v1/simulate?stream=sse", "application/json", strings.NewReader(body))
 	if err != nil {

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"onocsim"
+	"onocsim/internal/config"
+	"onocsim/internal/sweep"
+)
+
+// tinySweep is a 4-arm grid whose two electrical arms collapse to one unique
+// job (the mesh observes neither wavelengths nor optical faults), so the
+// envelope's accounting proves fingerprint-level dedup inside one request.
+const tinySweep = `{"name":"tiny","networks":["electrical","optical"],"cores":[16],"wavelengths":[4,16],"faults":["off"],"kernels":["stencil"],"quick":true}`
+
+func postSweep(t *testing.T, ts string, body string) sweepEnvelope {
+	t.Helper()
+	code, raw := postJSON(t, ts+"/v1/sweeps", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	var env sweepEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// The sweep endpoint collapses identity-equal arms inside a request, serves
+// a repeated request entirely from the session memo (zero new computations),
+// and returns the exact table bytes the in-process pipeline — and hence the
+// CLI — produces for the same spec.
+func TestSweepDedupAndCLIParity(t *testing.T) {
+	_, ts := newTestServer(t)
+	env := postSweep(t, ts.URL, tinySweep)
+	if env.Version != ResponseVersion || env.Status != "ok" || env.Name != "tiny" {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+	if env.Arms != 4 || env.UniqueJobs != 3 {
+		t.Fatalf("dedup accounting: %d arms -> %d unique jobs, want 4 -> 3", env.Arms, env.UniqueJobs)
+	}
+	if env.Simulated != env.UniqueJobs-env.Pruned {
+		t.Fatalf("accounting broken: %d simulated, %d unique - %d pruned", env.Simulated, env.UniqueJobs, env.Pruned)
+	}
+
+	// A second identical POST reuses every arm's memoized result: the
+	// session computes nothing new, and the tables are byte-identical.
+	misses := serverStats(t, ts).Cache.Misses
+	again := postSweep(t, ts.URL, tinySweep)
+	if got := serverStats(t, ts).Cache.Misses; got != misses {
+		t.Fatalf("repeated sweep recomputed: misses %d -> %d", misses, got)
+	}
+	if !bytes.Equal(env.Front, again.Front) || !bytes.Equal(env.Summary, again.Summary) {
+		t.Fatalf("repeated sweep changed tables:\n%s\nvs\n%s", env.Front, again.Front)
+	}
+
+	// Parity with the in-process pipeline on a fresh session (the CLI path):
+	// the envelope embeds the same table bytes sweep.Run marshals.
+	spec, err := config.ParseSweep([]byte(tinySweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sweep.Run(context.Background(), spec, sweep.Options{Session: onocsim.NewSession("")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := json.Marshal(res.Front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := json.Marshal(res.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(front, env.Front) {
+		t.Fatalf("service front diverged from pipeline front:\n%s\nvs\n%s", env.Front, front)
+	}
+	if !bytes.Equal(summary, env.Summary) {
+		t.Fatalf("service summary diverged from pipeline summary:\n%s\nvs\n%s", env.Summary, summary)
+	}
+}
+
+// An empty body runs the built-in default grid; a bad spec is a 400.
+func TestSweepSpecValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := postJSON(t, ts.URL+"/v1/sweeps", `{"cores":[7]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid spec: status %d: %s", code, body)
+	}
+	code, body = postJSON(t, ts.URL+"/v1/sweeps", `{"unknown_axis":[1]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d: %s", code, body)
+	}
+}

@@ -21,6 +21,11 @@ const (
 	// ProgressSimDiskHit fires when a session loads a result persisted by an
 	// earlier invocation.
 	ProgressSimDiskHit
+	// ProgressSweepArm fires when a design-space sweep resolves one grid arm:
+	// Sim carries the arm label, Op the phase ("estimate", "pruned",
+	// "simulated"). The onocsimd /v1/sweeps endpoint streams these as
+	// per-arm SSE progress.
+	ProgressSweepArm
 )
 
 // String names the kind for log lines.
@@ -38,6 +43,8 @@ func (k ProgressKind) String() string {
 		return "wait"
 	case ProgressSimDiskHit:
 		return "disk-hit"
+	case ProgressSweepArm:
+		return "sweep-arm"
 	default:
 		return "unknown"
 	}

@@ -43,6 +43,61 @@ type Session struct {
 	mu     sync.Mutex
 	traces map[*Trace]traceEntry
 	gen    uint64
+
+	// parked stashes the resume state of parked self-correction runs under
+	// their cache key. A parked result is never cached, so the next request
+	// for the same key re-enters the compute closure — which takes the stash
+	// and resumes the loop at the parked round boundary instead of replaying
+	// the completed rounds. The stash is in-process only (fabric snapshots
+	// do not serialize) and bounded like the trace registry.
+	parked map[simcache.Key]parkEntry
+}
+
+// parkEntry is one stashed resume state plus a recency stamp.
+type parkEntry struct {
+	state *CorrectionPark
+	gen   uint64
+}
+
+// maxParkStash caps the parked-run stash: each entry pins fabric replicas
+// and per-event slices, so a draining daemon parking dozens of tenants must
+// not hold them all forever. Evicted runs resume from scratch — the same
+// graceful degradation as before resume existed.
+const maxParkStash = 16
+
+// stashPark remembers a parked run's resume state, evicting the
+// least-recently-stashed entry when full.
+func (s *Session) stashPark(key simcache.Key, st *CorrectionPark) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	if len(s.parked) >= maxParkStash {
+		if _, ok := s.parked[key]; !ok {
+			var oldest simcache.Key
+			oldestGen := uint64(math.MaxUint64)
+			for k, e := range s.parked {
+				if e.gen < oldestGen {
+					oldest, oldestGen = k, e.gen
+				}
+			}
+			delete(s.parked, oldest)
+		}
+	}
+	s.parked[key] = parkEntry{state: st, gen: s.gen}
+}
+
+// takePark removes and returns the stashed resume state for key. Take
+// semantics keep the single-use contract: a ParkState's runner must never
+// serve two resumes, so whoever takes it owns it.
+func (s *Session) takePark(key simcache.Key) *CorrectionPark {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.parked[key]
+	if !ok {
+		return nil
+	}
+	delete(s.parked, key)
+	return e.state
 }
 
 // traceEntry is one registry slot: the capture key plus a recency stamp.
@@ -101,7 +156,11 @@ func (s *Session) lookupTrace(tr *Trace) (simcache.Key, bool) {
 // (versioned JSON) are persisted there and reloaded by later invocations;
 // pass "" for a purely in-memory session.
 func NewSession(cacheDir string) *Session {
-	return &Session{cache: simcache.New(cacheDir), traces: map[*Trace]traceEntry{}}
+	return &Session{
+		cache:  simcache.New(cacheDir),
+		traces: map[*Trace]traceEntry{},
+		parked: map[simcache.Key]parkEntry{},
+	}
 }
 
 // CacheStats reports cache traffic; zero for a nil session.
@@ -228,6 +287,25 @@ func normalizeFor(cfg Config, kind NetworkKind, op simcache.Op) Config {
 		n.Hybrid = def.Hybrid
 	}
 	return n
+}
+
+// SelfCorrectionKey returns the cache identity of a self-correction run of
+// cfg's kernel workload on the given fabric kind: the normalized fingerprint
+// of the correction itself joined with the identity of the ideal-fabric
+// capture that feeds it. Two configs with equal keys share one cached result
+// through any Session — the design-space sweep planner uses this to collapse
+// grid arms that differ only in parameters the operation cannot observe
+// (e.g. electrical arms swept across wavelengths) before running anything.
+func SelfCorrectionKey(cfg Config, kind NetworkKind) (string, error) {
+	capKey, err := sessionKey(cfg, IdealNet, simcache.OpCapture)
+	if err != nil {
+		return "", err
+	}
+	runKey, err := sessionKey(cfg, kind, simcache.OpSCTM)
+	if err != nil {
+		return "", err
+	}
+	return runKey.Fingerprint + "@" + string(kind) + "+" + capKey.Fingerprint, nil
 }
 
 // sessionKey builds the cache key for an operation on a validated config.
@@ -402,19 +480,30 @@ func (s *Session) sourceKey(cfg Config, src TraceSource, kind NetworkKind, op si
 // RunNaiveReplayStream is the memoized form of the package function: cached
 // replay results for out-of-core traces, keyed by the source's content
 // digest. On a hit the trace file is not even decoded.
+//
+// Deprecated: this wrapper cannot be cancelled while it queues for a
+// simulation slot; use RunNaiveReplayStreamContext.
 func (s *Session) RunNaiveReplayStream(cfg Config, src TraceSource, kind NetworkKind) (ReplayResult, time.Duration, error) {
+	return s.RunNaiveReplayStreamContext(context.Background(), cfg, src, kind)
+}
+
+// RunNaiveReplayStreamContext is the memoized form of the package function:
+// cached replay results for out-of-core traces, keyed by the source's
+// content digest. On a hit the trace file is not even decoded. See
+// RunExecutionDrivenContext for the context contract.
+func (s *Session) RunNaiveReplayStreamContext(ctx context.Context, cfg Config, src TraceSource, kind NetworkKind) (ReplayResult, time.Duration, error) {
 	if s == nil {
-		return RunNaiveReplayStream(cfg, src, kind)
+		return RunNaiveReplayStreamContext(ctx, cfg, src, kind)
 	}
 	key, ok, err := s.sourceKey(cfg, src, kind, simcache.OpNaive)
 	if err != nil {
 		return ReplayResult{}, 0, err
 	}
 	if !ok {
-		return RunNaiveReplayStream(cfg, src, kind)
+		return RunNaiveReplayStreamContext(ctx, cfg, src, kind)
 	}
 	rv, err := simcache.DoValue(s.cache, key, func() (replayVal, error) {
-		res, wall, err := RunNaiveReplayStream(cfg, src, kind)
+		res, wall, err := RunNaiveReplayStreamContext(ctx, cfg, src, kind)
 		if err != nil {
 			return replayVal{}, err
 		}
@@ -428,19 +517,31 @@ func (s *Session) RunNaiveReplayStream(cfg Config, src TraceSource, kind Network
 
 // RunSelfCorrectionStream is the memoized form of the package function,
 // keyed like RunNaiveReplayStream.
+//
+// Deprecated: this wrapper cannot be cancelled while it queues for a
+// simulation slot; use RunSelfCorrectionStreamContext.
 func (s *Session) RunSelfCorrectionStream(cfg Config, src TraceSource, kind NetworkKind) (CorrectionResult, time.Duration, error) {
+	return s.RunSelfCorrectionStreamContext(context.Background(), cfg, src, kind)
+}
+
+// RunSelfCorrectionStreamContext is the memoized form of the package
+// function, keyed like RunNaiveReplayStreamContext. This is how the service
+// runs big tenant trace files: the digest-keyed cache means two clients
+// posting the same trace path (or byte-identical traces under different
+// paths) share one streaming computation.
+func (s *Session) RunSelfCorrectionStreamContext(ctx context.Context, cfg Config, src TraceSource, kind NetworkKind) (CorrectionResult, time.Duration, error) {
 	if s == nil {
-		return RunSelfCorrectionStream(cfg, src, kind)
+		return RunSelfCorrectionStreamContext(ctx, cfg, src, kind)
 	}
 	key, ok, err := s.sourceKey(cfg, src, kind, simcache.OpSCTM)
 	if err != nil {
 		return CorrectionResult{}, 0, err
 	}
 	if !ok {
-		return RunSelfCorrectionStream(cfg, src, kind)
+		return RunSelfCorrectionStreamContext(ctx, cfg, src, kind)
 	}
 	cv, err := simcache.DoValue(s.cache, key, func() (corrVal, error) {
-		res, wall, err := RunSelfCorrectionStream(cfg, src, kind)
+		res, wall, err := RunSelfCorrectionStreamContext(ctx, cfg, src, kind)
 		if err != nil {
 			return corrVal{}, err
 		}
@@ -463,6 +564,14 @@ func (s *Session) RunSelfCorrection(cfg Config, tr *Trace, kind NetworkKind) (Co
 // alongside the error, and the parked result is never cached — callers
 // deduplicated onto the parked flight receive only the error, since a
 // partial result must not masquerade as the converged one.
+//
+// Parked runs stash their resume state (including the runner's fabric
+// checkpoints) under the cache key: the next request for the same
+// (config, trace, kind) resumes the loop at the parked round boundary
+// instead of re-running the completed rounds, and completes to the same
+// byte-identical result an uninterrupted run produces. This is what heals
+// service traffic after a client disconnect or a cancelled drain — the
+// retry pays only the remaining rounds.
 func (s *Session) RunSelfCorrectionContext(ctx context.Context, cfg Config, tr *Trace, kind NetworkKind) (CorrectionResult, time.Duration, error) {
 	if s == nil {
 		return RunSelfCorrectionContext(ctx, cfg, tr, kind)
@@ -479,10 +588,17 @@ func (s *Session) RunSelfCorrectionContext(ctx context.Context, cfg Config, tr *
 	var parked *CorrectionResult
 	var parkedWall time.Duration
 	cv, err := simcache.DoValue(s.cache, key, func() (corrVal, error) {
-		res, wall, err := RunSelfCorrectionContext(ctx, cfg, tr, kind)
+		// Take (not peek) inside the closure: only the goroutine that
+		// actually computes may consume the single-use resume state —
+		// deduplicated waiters never reach here.
+		resume := s.takePark(key)
+		res, state, wall, err := RunSelfCorrectionParkableContext(ctx, cfg, tr, kind, resume)
 		if err != nil {
 			if errors.Is(err, ErrParked) {
 				parked, parkedWall = &res, wall
+				if state != nil {
+					s.stashPark(key, state)
+				}
 			}
 			return corrVal{}, err
 		}
@@ -533,15 +649,21 @@ func (s *Session) Estimate(cfg Config, tr *Trace, kind NetworkKind) (AnalyticEst
 
 // RunSyntheticLoad is the memoized form of the package function.
 func (s *Session) RunSyntheticLoad(cfg Config, kind NetworkKind) (SyntheticResult, error) {
+	return s.RunSyntheticLoadContext(context.Background(), cfg, kind)
+}
+
+// RunSyntheticLoadContext is the memoized form of the package function; see
+// RunExecutionDrivenContext for the context contract.
+func (s *Session) RunSyntheticLoadContext(ctx context.Context, cfg Config, kind NetworkKind) (SyntheticResult, error) {
 	if s == nil {
-		return RunSyntheticLoad(cfg, kind)
+		return RunSyntheticLoadContext(ctx, cfg, kind)
 	}
 	key, err := sessionKey(cfg, kind, simcache.OpSynthetic)
 	if err != nil {
 		return SyntheticResult{}, err
 	}
 	return simcache.DoValue(s.cache, key, func() (SyntheticResult, error) {
-		return RunSyntheticLoad(cfg, kind)
+		return RunSyntheticLoadContext(ctx, cfg, kind)
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"onocsim/internal/simcache"
@@ -120,5 +121,90 @@ func TestSessionSelfCorrectionParksAndNeverCachesPartial(t *testing.T) {
 	}
 	if got := s.CacheStats().Hits; got != hits+1 {
 		t.Fatalf("converged result not cached: hits %d -> %d", hits, got)
+	}
+}
+
+// resumePollCtx reports Canceled after a fixed number of Err polls — the
+// session-level twin of internal/core's countdownCtx. The correction loop
+// polls once per round boundary (plus one poll at slot admission), so the
+// budget selects the round the park lands on.
+type resumePollCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *resumePollCtx) Err() error {
+	if c.remaining > 0 {
+		c.remaining--
+		return nil
+	}
+	return context.Canceled
+}
+
+// A parked session correction stashes its resume state under the cache key;
+// the next identical request resumes from the parked round instead of
+// re-running from scratch, and completes to the exact result an
+// uninterrupted session computes. The resume is proven — not just the
+// equality — by giving the second call an Err-poll budget large enough for
+// the remaining rounds but far too small for a from-scratch rerun.
+func TestSessionResumesParkedCorrection(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SCTM.MaxIterations = 10
+	cfg.SCTM.ToleranceCycles = 0
+	cfg.SCTM.MakespanTolerance = 0
+	cfg.SCTM.Damping = 0.9
+	cfg.SCTM.Seed = "fixed"
+	cfg.SCTM.InitialLatencyCycles = 5000
+
+	ref := NewSession("")
+	tr, _, err := ref.CaptureTrace(cfg, IdealNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := ref.RunSelfCorrection(cfg, tr, Optical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Converged || len(full.Iterations) != cfg.SCTM.MaxIterations {
+		t.Fatalf("reference run converged early: %+v", full)
+	}
+
+	s := NewSession("")
+	tr2, _, err := s.CaptureTrace(cfg, IdealNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &resumePollCtx{Context: context.Background(), remaining: 5}
+	parked, _, err := s.RunSelfCorrectionContext(ctx, cfg, tr2, Optical)
+	if !errors.Is(err, ErrParked) {
+		t.Fatalf("err = %v, want ErrParked", err)
+	}
+	r := len(parked.Iterations)
+	if r == 0 || r >= cfg.SCTM.MaxIterations {
+		t.Fatalf("park landed at %d rounds, want mid-loop", r)
+	}
+
+	// Budget: remaining rounds plus admission/boundary slack. A restart
+	// from round zero would need MaxIterations+1 polls and park again.
+	budget := (cfg.SCTM.MaxIterations - r) + 2
+	if budget >= cfg.SCTM.MaxIterations+1 {
+		t.Fatalf("park too late to distinguish resume from restart: r=%d", r)
+	}
+	ctx2 := &resumePollCtx{Context: context.Background(), remaining: budget}
+	resumed, _, err := s.RunSelfCorrectionContext(ctx2, cfg, tr2, Optical)
+	if err != nil {
+		t.Fatalf("resumed run failed (did the session restart from scratch?): %v", err)
+	}
+	if !reflect.DeepEqual(resumed, full) {
+		t.Fatalf("resumed result diverged from uninterrupted run:\n got %+v\nwant %+v", resumed, full)
+	}
+
+	// The completed resume is cached like any converged-or-exhausted run.
+	hits := s.CacheStats().Hits
+	if _, _, err := s.RunSelfCorrection(cfg, tr2, Optical); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CacheStats().Hits; got != hits+1 {
+		t.Fatalf("resumed result not cached: hits %d -> %d", hits, got)
 	}
 }
